@@ -1,0 +1,50 @@
+"""Ablation (Section 3.2): the Lite core's 4x16x16 cube at batch 1.
+
+«when batch size turns to 1, the smaller m dimension improves cube's MAC
+utilization» — compare a 16x16x16 and a 4x16x16 cube on MobileNet's
+batch-1 pointwise convolutions, plus the DVFS energy ladder.
+"""
+
+from repro.analysis import ascii_table
+from repro.compiler import GraphEngine
+from repro.config import ASCEND_LITE, ASCEND_MAX
+from repro.models import build_model
+from repro.soc import MobileSoc
+
+
+def _utilizations():
+    graph = build_model("mobilenet_v2", batch=1)
+    rows = []
+    for config in (ASCEND_MAX, ASCEND_LITE):
+        engine = GraphEngine(config)
+        compiled = engine.compile_graph(graph)
+        cube_cycles = sum(l.cube_cycles for l in compiled.layers)
+        macs = sum(l.workload.macs for l in compiled.layers)
+        util = macs / (cube_cycles * config.cube.macs_per_cycle)
+        rows.append((config.name, str(config.cube), util))
+    return rows
+
+
+def test_small_m_cube_utilization_at_batch_one(report, benchmark):
+    rows = benchmark.pedantic(_utilizations, rounds=1, iterations=1)
+    report("ablation_cube_m", ascii_table(
+        ["core", "cube", "MAC utilization (MobileNetV2 b1)"],
+        [[n, c, f"{u:.1%}"] for n, c, u in rows],
+        title="Section 3.2 — m-dimension vs batch-1 utilization"))
+    utils = {name: u for name, _, u in rows}
+    assert utils["ascend-lite"] > 1.15 * utils["ascend-max"]
+
+
+def test_dvfs_ladder_energy(report, benchmark):
+    soc = MobileSoc()
+    cycles = 5_000_000  # a MobileNet-scale inference on the Lite core
+    curve = benchmark(lambda: soc.dvfs_energy_curve(cycles))
+    report("ablation_dvfs", ascii_table(
+        ["point", "latency ms", "energy mJ"],
+        [[name, f"{lat * 1e3:.1f}", f"{e * 1e3:.2f}"]
+         for name, lat, e in curve],
+        title="Section 3.2 — DVFS ladder for a fixed inference"))
+    energies = [e for _, _, e in curve]
+    latencies = [l for _, l, _ in curve]
+    assert energies[0] < energies[-1]  # eco point wins energy
+    assert latencies[0] > latencies[-1]  # boost point wins latency

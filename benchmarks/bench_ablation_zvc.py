@@ -1,0 +1,49 @@
+"""Ablation (Section 2.2): zero-value compression in the MTE decomp path.
+
+The paper integrates a ZVC-style decompressor so sparse weights travel
+compressed through GM/L1 and expand only at L0B.  Sweep weight density
+and measure GEMM time and GM->L1 traffic with and without the sparse
+path (also the Kirin structured-sparsity remark of Section 3.2).
+"""
+
+from repro.analysis import ascii_table
+from repro.compiler import lower_gemm
+from repro.config import ASCEND_MAX
+from repro.core.costs import CostModel
+from repro.core.engine import schedule
+from repro.isa import MemSpace
+
+_SHAPE = (512, 2048, 512)  # weight-heavy GEMM (FC-like)
+
+
+def _measure(density):
+    costs = CostModel(ASCEND_MAX)
+    m, k, n = _SHAPE
+    prog = lower_gemm(m, k, n, ASCEND_MAX, tag="fc",
+                      weight_density=density)
+    trace = schedule(prog, costs)
+    return trace.total_cycles, trace.moved_bytes(MemSpace.GM, MemSpace.L1)
+
+
+def test_zvc_sparse_weight_ablation(report, benchmark):
+    dense_cycles, dense_traffic = benchmark.pedantic(
+        lambda: _measure(None), rounds=1, iterations=1)
+    rows = [["1.00 (dense)", dense_cycles, f"{dense_traffic / 1e6:.1f} MB",
+             "1.00x"]]
+    results = {}
+    for density in (0.75, 0.5, 0.25, 0.1):
+        cycles, traffic = _measure(density)
+        results[density] = (cycles, traffic)
+        rows.append([f"{density:.2f}", cycles, f"{traffic / 1e6:.1f} MB",
+                     f"{dense_traffic / traffic:.2f}x"])
+    report("ablation_zvc", ascii_table(
+        ["weight density", "cycles", "GM->L1 traffic", "traffic saving"],
+        rows, title="ZVC sparse path ablation (Section 2.2 decomp module)"))
+
+    # Traffic must shrink monotonically with density.
+    traffics = [dense_traffic] + [results[d][1] for d in (0.75, 0.5, 0.25, 0.1)]
+    assert all(a >= b for a, b in zip(traffics, traffics[1:]))
+    # GM->L1 traffic includes the (incompressible) activation stream, so
+    # assert on the weight-stream saving: at 10% density the *weight*
+    # bytes drop by >4x, which shows up as >2x on the combined stream.
+    assert dense_traffic / results[0.1][1] > 2

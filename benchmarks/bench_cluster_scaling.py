@@ -1,0 +1,66 @@
+"""Sections 4.2 and 8: server and cluster scaling.
+
+Claims to reproduce: the 8-chip server (HCCS 30 GB/s in-group, PCIe
+32 GB/s between groups), the 2048-chip / 512 PFLOPS fat-tree cluster,
+and the headline ResNet-50/ImageNet time-to-train (<83 s on 256 chips —
+our coarse model targets the same sub-2-minute regime and the scaling
+*shape*: near-linear to hundreds of chips, efficiency tapering at 2048).
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.cluster import DataParallelTrainer, FatTreeCluster
+
+
+def test_cluster_scaling_curve(report, benchmark, soc_910):
+    trainer = DataParallelTrainer()
+    chips_list = (1, 8, 64, 256, 1024, 2048)
+    curve = benchmark.pedantic(
+        lambda: trainer.scaling_curve(chips_list, soc=soc_910),
+        rounds=1, iterations=1)
+    rows = [[p.chips, f"{p.images_per_second:,.0f}",
+             f"{p.scaling_efficiency:.1%}", f"{p.total_seconds:.0f} s"]
+            for p in curve]
+    report("cluster_scaling", ascii_table(
+        ["chips", "images/s", "scaling eff.", "ResNet-50 time-to-train"],
+        rows, title="Sections 4.2/8 — cluster scaling "
+                    "(paper: <83 s at 256 chips)"))
+
+    by_chips = {p.chips: p for p in curve}
+    # Headline: 256 chips in the sub-2-minute regime.
+    assert by_chips[256].total_seconds < 180
+    # Near-linear through 256 chips.
+    assert by_chips[256].images_per_second \
+        > 0.7 * 256 * by_chips[1].images_per_second
+    # Efficiency decreases monotonically with scale.
+    effs = [p.scaling_efficiency for p in curve]
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    # 2048 chips: 512 PFLOPS peak and still >50% scaling efficiency.
+    assert FatTreeCluster().peak_flops_fp16() == pytest.approx(512e15,
+                                                               rel=0.05)
+    assert by_chips[2048].scaling_efficiency > 0.5
+
+
+def test_hierarchical_beats_flat_allreduce(report, benchmark):
+    from repro.cluster import allreduce_seconds, hierarchical_allreduce_seconds
+
+    cluster = FatTreeCluster()
+    grad_bytes = 25.5e6 * 2  # ResNet-50 fp16 gradients
+
+    def compare():
+        rows = []
+        for chips in (8, 64, 256, 2048):
+            flat = allreduce_seconds(grad_bytes, chips, cluster.link_bw)
+            hier = hierarchical_allreduce_seconds(grad_bytes, chips, cluster)
+            rows.append((chips, flat, hier))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    report("cluster_allreduce", ascii_table(
+        ["chips", "flat ring (s)", "hierarchical (s)"],
+        [[c, f"{f * 1e3:.2f} ms", f"{h * 1e3:.2f} ms"] for c, f, h in rows],
+        title="Allreduce: topology-aware vs flat over the slowest link"))
+    for chips, flat, hier in rows:
+        if chips > 8:
+            assert hier < flat, chips

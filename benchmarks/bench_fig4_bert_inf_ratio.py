@@ -1,0 +1,27 @@
+"""Figure 4: cube/vector execution-time ratio, BERT inference.
+
+Configuration: cube 8192 FLOPS/cycle, vector 256 B (Ascend-Max).  Paper
+claim: "For most layers, the ratio is much greater than 1, indicating
+that the execution time of the vector can be hidden by that of the cube."
+"""
+
+from ratio_common import fraction_above_one, ratio_figure
+
+from repro.models import build_model
+
+
+def test_fig4_bert_inference_ratio(report, benchmark, max_engine):
+    graph = build_model("bert-base", batch=1, seq=128)
+    points, chart = benchmark.pedantic(
+        lambda: ratio_figure(graph, max_engine,
+                             "Figure 4 — cube/vector ratio (BERT inference)"),
+        rounds=1, iterations=1)
+    report("fig4_bert_inf_ratio", chart)
+
+    assert fraction_above_one(points) > 0.7  # "most layers"
+    # The matmul-dominated groups are *much* greater than 1.
+    qkv = [p for p in points if p.layer.endswith(".qkv")]
+    assert all(p.ratio > 4 for p in qkv)
+    # Softmax-dominated attention groups are the dips.
+    attn = [p for p in points if p.layer.endswith(".attn")]
+    assert all(p.ratio < 1 for p in attn)

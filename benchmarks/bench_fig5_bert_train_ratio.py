@@ -1,0 +1,37 @@
+"""Figure 5: cube/vector execution-time ratio, BERT training.
+
+Paper claim: "for a training workload on the same configuration, the
+computing on the vector unit is higher than that for the inference.
+Nevertheless, the ratio is still greater than 1 in most layers."
+Training batch is 16 per core (the optimizer amortizes over the batch).
+"""
+
+from ratio_common import fraction_above_one, ratio_figure
+
+from repro.models import build_model, training_workloads
+
+
+def test_fig5_bert_training_ratio(report, benchmark, max_engine):
+    graph = build_model("bert-base", batch=16, seq=128)
+
+    def compute():
+        tra = ratio_figure(
+            graph, max_engine,
+            "Figure 5 — cube/vector ratio (BERT training, b16)",
+            workloads=training_workloads(graph))
+        inf = ratio_figure(graph, max_engine, "")
+        return tra, inf
+
+    (tra_points, chart), (inf_points, _) = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    report("fig5_bert_train_ratio", chart)
+
+    assert fraction_above_one(tra_points) > 0.6  # still >1 in most layers
+    # Vector share grows in training: per-layer ratios shift down.
+    inf_by_layer = {p.layer: p.ratio for p in inf_points}
+    shifted_down = sum(
+        1 for p in tra_points
+        if 0 < p.ratio < inf_by_layer.get(p.layer, float("inf"))
+    )
+    comparable = sum(1 for p in tra_points if p.ratio > 0)
+    assert shifted_down > 0.6 * comparable

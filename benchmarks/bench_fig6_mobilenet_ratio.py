@@ -1,0 +1,43 @@
+"""Figure 6: cube/vector execution-time ratio, MobileNet inference.
+
+Paper claim: "most of the MobileNet layers' ratio are between 0 to 1",
+which is why Ascend-Lite keeps a relatively wider vector unit (its cube
+shrinks 4x while its vector only shrinks 2x).
+"""
+
+from ratio_common import fraction_in_unit_interval, ratio_figure
+
+from repro.models import build_model
+
+
+def test_fig6_mobilenet_ratio(report, benchmark, max_engine):
+    graph = build_model("mobilenet_v2", batch=1)
+    points, chart = benchmark.pedantic(
+        lambda: ratio_figure(
+            graph, max_engine,
+            "Figure 6 — cube/vector ratio (MobileNet inference)"),
+        rounds=1, iterations=1)
+    report("fig6_mobilenet_ratio", chart)
+
+    assert fraction_in_unit_interval(points) > 0.7  # "most layers" in (0,1)
+    # At most a couple of layers (classifier head) are cube-dominated.
+    assert sum(p.ratio > 3 for p in points) <= 2
+
+
+def test_lite_vector_sizing_rationale(report, benchmark, max_engine,
+                                      lite_engine):
+    """Section 2.4: the Lite core shrinks the cube 4x (8192 -> 2048) but
+    the vector only 2x (256 B -> 128 B), so MobileNet ratios recover."""
+    graph = build_model("mobilenet_v2", batch=1)
+
+    def compute():
+        on_max, _ = ratio_figure(graph, max_engine, "")
+        on_lite, _ = ratio_figure(graph, lite_engine, "")
+        return on_max, on_lite
+
+    on_max, on_lite = benchmark.pedantic(compute, rounds=1, iterations=1)
+    med = lambda pts: sorted(p.ratio for p in pts)[len(pts) // 2]
+    report("fig6_lite_rationale",
+           f"median cube/vector ratio: max-core {med(on_max):.2f}, "
+           f"lite-core {med(on_lite):.2f} (lite rebalances toward 1)")
+    assert med(on_lite) > med(on_max)

@@ -1,0 +1,30 @@
+"""Figure 7: cube/vector execution-time ratio, ResNet-50 inference.
+
+Paper claim: "in the first few layers of Resnet50, the execution time
+ratio is close to 1"; deeper layers are increasingly cube-dominated.
+"""
+
+from ratio_common import ratio_figure
+
+from repro.models import build_model
+
+
+def test_fig7_resnet50_ratio(report, benchmark, max_engine):
+    graph = build_model("resnet50", batch=1)
+    points, chart = benchmark.pedantic(
+        lambda: ratio_figure(
+            graph, max_engine,
+            "Figure 7 — cube/vector ratio (ResNet-50 inference)",
+            skip_layers=("pool1",)),
+        rounds=1, iterations=1)
+    report("fig7_resnet_ratio", chart)
+
+    by_layer = {p.layer: p.ratio for p in points}
+    # First few layers close to 1.
+    assert 0.7 < by_layer["conv1"] < 2.5
+    assert 0.7 < by_layer["conv2_1"] < 2.5
+    # Monotone trend toward cube dominance with depth.
+    assert by_layer["conv3_1"] > by_layer["conv2_1"]
+    assert by_layer["conv4_1"] > by_layer["conv3_1"]
+    assert by_layer["conv5_1"] > by_layer["conv4_1"]
+    assert by_layer["conv5_3"] > 5

@@ -1,0 +1,29 @@
+"""Figure 8: cube/vector execution-time ratio, gesture net on Ascend-Tiny.
+
+Configuration: cube 1024 int8 OPS/cycle, vector 32 B.  Paper claim:
+"For all layers, the ratio is greater than 1, indicating Ascend-Tiny
+core's configuration can be set to above settings."  (Our stand-in
+network profiles its conv layers; see DESIGN.md — Huawei's gesture model
+is not published.)
+"""
+
+from ratio_common import ratio_figure
+
+from repro.models import build_model
+
+
+def test_fig8_gesture_ratio(report, benchmark, tiny_engine):
+    graph = build_model("gesture", batch=1)
+    points, chart = benchmark.pedantic(
+        lambda: ratio_figure(
+            graph, tiny_engine,
+            "Figure 8 — cube/vector ratio (gesture inference, Tiny)",
+            skip_layers=("fc",)),
+        rounds=1, iterations=1)
+    report("fig8_gesture_ratio", chart)
+
+    convs = [p for p in points if p.layer.startswith("conv")]
+    assert len(convs) == 6
+    assert all(p.ratio > 1 for p in convs)  # "for all layers"
+    # Deeper layers (more channels) grow increasingly cube-bound.
+    assert convs[-1].ratio > convs[0].ratio

@@ -1,0 +1,62 @@
+"""Figure 9: L1 bandwidth profiling — BERT fwd/bwd, MobileNet, ResNet-50.
+
+Paper claims: "all layers' L1 memory reading bandwidth is not more than
+4096 bits/cycle, with corresponding writing bandwidth less than 2048
+bits/cycle", and "MobileNet (typical small network) shows more L1 memory
+bandwidth requirement" (per unit of compute).
+"""
+
+from repro.analysis import ascii_chart, ascii_table, l1_bandwidth_profile
+from repro.models import build_model, training_workloads
+
+
+def _profiles(max_engine):
+    out = {}
+    bert = build_model("bert-base", batch=1, seq=128)
+    out["bert_fwd_bwd"] = l1_bandwidth_profile(
+        bert, max_engine.config,
+        workloads=training_workloads(bert, include_optimizer=False),
+        engine=max_engine)
+    out["mobilenet"] = l1_bandwidth_profile(
+        build_model("mobilenet_v2", batch=1), max_engine.config,
+        engine=max_engine)
+    out["resnet50"] = l1_bandwidth_profile(
+        build_model("resnet50", batch=1), max_engine.config,
+        engine=max_engine)
+    return out
+
+
+def test_fig9_l1_bandwidth_profiles(report, benchmark, max_engine):
+    profiles = benchmark.pedantic(lambda: _profiles(max_engine), rounds=1,
+                                  iterations=1)
+    sections = []
+    for name, points in profiles.items():
+        chart = ascii_chart(
+            [(p.layer, p.read_bits_per_cycle) for p in points][:24],
+            width=40, title=f"{name}: L1 read bits/cycle (cap 4096)")
+        sections.append(chart)
+    summary_rows = []
+    for name, points in profiles.items():
+        peak_r = max(p.read_bits_per_cycle for p in points)
+        peak_w = max(p.write_bits_per_cycle for p in points)
+        summary_rows.append([name, f"{peak_r:.0f}", f"{peak_w:.0f}"])
+    sections.append(ascii_table(
+        ["network", "peak read b/cyc", "peak write b/cyc"], summary_rows,
+        title="Figure 9 summary (paper bounds: read<=4096, write<=2048)"))
+    report("fig9_l1_bandwidth", "\n\n".join(sections))
+
+    # Bound claims.
+    for name, points in profiles.items():
+        assert all(p.read_bits_per_cycle <= 4096 for p in points), name
+        assert all(p.write_bits_per_cycle <= 2048 for p in points), name
+
+    # MobileNet needs more L1 bytes per MAC than the big networks.
+    def bytes_per_mac(key, model, **kw):
+        graph = build_model(model, batch=1, **kw)
+        pts = profiles[key]
+        bits = sum((p.read_bits_per_cycle + p.write_bits_per_cycle)
+                   * p.cycles for p in pts)
+        return bits / 8 / graph.total_macs()
+
+    assert bytes_per_mac("mobilenet", "mobilenet_v2") \
+        > 2 * bytes_per_mac("resnet50", "resnet50")

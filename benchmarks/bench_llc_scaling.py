@@ -1,0 +1,44 @@
+"""Section 4.1: LLC capacity scaling with 3D-SRAM.
+
+Paper claim: on the next-generation training device, growing the LLC
+from 96 MB to 720 MB improves ResNet-50 by 1.71x and BERT by 1.51x.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+
+_MB = 2 ** 20
+_CAPACITIES = (96 * _MB, 192 * _MB, 384 * _MB, 720 * _MB)
+
+
+def test_llc_capacity_scaling(report, benchmark, soc_910):
+    def sweep():
+        rn = soc_910.llc_capacity_sweep(_CAPACITIES, workload="resnet50")
+        bert = soc_910.llc_capacity_sweep(_CAPACITIES, workload="bert")
+        return rn, bert
+
+    rn, bert = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rn_base = rn[0][1]
+    bert_base = bert[0][1]
+    rows = []
+    for (cap, t_rn), (_, t_bert) in zip(rn, bert):
+        rows.append([
+            f"{cap // _MB} MB",
+            f"{t_rn * 1e3:.1f} ms",
+            f"{rn_base / t_rn:.2f}x",
+            f"{t_bert * 1e3:.1f} ms",
+            f"{bert_base / t_bert:.2f}x",
+        ])
+    report("llc_scaling", ascii_table(
+        ["LLC", "ResNet50 step", "speedup", "BERT step", "speedup"],
+        rows, title="Section 4.1 — LLC capacity sweep "
+                    "(paper: rn50 +1.71x, bert +1.51x at 720 MB)"))
+
+    rn_speedup = rn_base / rn[-1][1]
+    bert_speedup = bert_base / bert[-1][1]
+    assert rn_speedup == pytest.approx(1.71, rel=0.15)
+    assert bert_speedup == pytest.approx(1.51, rel=0.2)
+    # Monotone improvement with capacity.
+    times = [t for _, t in rn]
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,51 @@
+"""Section 3.1.1: the Ascend 910 mesh NoC.
+
+Claims to reproduce: 4x6 2D mesh, 1024-bit links at 2 GHz = 256 GB/s per
+link; bufferless routing; saturation behaviour under load and the QoS
+motivation (hotspot traffic degrades latency without global scheduling).
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.config import ASCEND_910
+from repro.soc import MeshNoc
+
+
+def test_noc_link_and_bisection(report, benchmark):
+    noc = MeshNoc(ASCEND_910.noc)
+    link = benchmark(lambda: noc.link_bandwidth_bytes)
+    rows = [
+        ["topology", f"{noc.rows}x{noc.cols} mesh"],
+        ["link bandwidth", f"{link / 1e9:.0f} GB/s (paper: 256 GB/s)"],
+        ["bisection bandwidth", f"{noc.bisection_bandwidth_bytes / 1e12:.2f} TB/s"],
+        ["average hops", f"{noc.average_hops():.2f}"],
+    ]
+    report("noc_mesh_analytic", ascii_table(["metric", "value"], rows,
+                                            title="Section 3.1.1 — mesh NoC"))
+    assert link == pytest.approx(256e9)
+    assert noc.rows * noc.cols == 24
+
+
+def test_noc_saturation_curve(report, benchmark):
+    noc = MeshNoc(ASCEND_910.noc)
+
+    def sweep():
+        out = []
+        for rate in (0.02, 0.08, 0.2, 0.4):
+            stats = noc.simulate(injection_rate=rate, cycles=1200, seed=7)
+            out.append((rate, stats))
+        return out
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"{rate:.2f}", f"{s.throughput_flits_per_cycle():.2f}",
+             f"{s.avg_latency:.1f}", s.deflections]
+            for rate, s in curve]
+    report("noc_mesh_saturation", ascii_table(
+        ["inject rate", "delivered/cycle", "avg latency", "deflections"],
+        rows, title="Bufferless mesh saturation (flit-level simulation)"))
+
+    latencies = [s.avg_latency for _, s in curve]
+    assert latencies[-1] > latencies[0]  # latency rises toward saturation
+    throughputs = [s.throughput_flits_per_cycle() for _, s in curve]
+    assert throughputs[2] > throughputs[0]  # still scaling in mid-range

@@ -1,0 +1,64 @@
+"""Table 3: comparison among scalar / vector / cube computing units.
+
+Paper rows (7 nm, 1 GHz): scalar 2 GFLOPS / 0.04 mm2; vector 256 GFLOPS /
+0.46 W / 0.70 mm2 / 0.56 TFLOPS/W / 0.36 TFLOPS/mm2; cube 8 TFLOPS /
+3.13 W / 2.57 mm2 / 2.56 TFLOPS/W / 3.11 TFLOPS/mm2.
+"""
+
+from repro.analysis import ascii_table
+from repro.config import ASCEND_MAX
+from repro.perf import EnergyModel, unit_areas
+
+PAPER = {
+    "scalar": dict(perf=2e9, power=None, area=0.04),
+    "vector": dict(perf=256e9, power=0.46, area=0.70),
+    "cube": dict(perf=8e12, power=3.13, area=2.57),
+}
+
+
+def _model_rows():
+    areas = unit_areas(ASCEND_MAX, node_nm=7)
+    energy = EnergyModel(ASCEND_MAX)
+    perf = {
+        "scalar": 2 * ASCEND_MAX.frequency_hz,
+        "vector": 2 * ASCEND_MAX.vector_lanes_fp16 * ASCEND_MAX.frequency_hz,
+        "cube": ASCEND_MAX.cube.flops_per_cycle * ASCEND_MAX.frequency_hz,
+    }
+    power = {
+        "scalar": None,
+        "vector": energy.vector_power_w(),
+        "cube": energy.cube_power_w(),
+    }
+    return areas, perf, power
+
+
+def test_table3_comparison_among_units(report, benchmark):
+    areas, perf, power = benchmark(_model_rows)
+    rows = []
+    for unit in ("scalar", "vector", "cube"):
+        p, w, a = perf[unit], power[unit], areas[unit]
+        rows.append([
+            unit,
+            f"{p / 1e9:.0f} G",
+            "-" if w is None else f"{w:.2f}",
+            f"{a:.2f}",
+            "-" if w is None else f"{p / 1e12 / w:.2f}",
+            f"{p / 1e12 / a:.2f}",
+            f"{PAPER[unit]['perf'] / 1e9:.0f} G / "
+            f"{PAPER[unit]['power'] or '-'} W / {PAPER[unit]['area']} mm2",
+        ])
+    report("table3_units", ascii_table(
+        ["unit", "perf (FLOPS)", "power W", "area mm2", "TFLOPS/W",
+         "TFLOPS/mm2", "paper"],
+        rows, title="Table 3 — computing-unit PPA (modeled @ 7nm, 1 GHz)"))
+
+    # Shape claims: the cube improves both metrics by ~an order vs vector.
+    cube_eff = perf["cube"] / 1e12 / power["cube"]
+    vec_eff = perf["vector"] / 1e12 / power["vector"]
+    assert cube_eff > 4 * vec_eff
+    cube_density = perf["cube"] / 1e12 / areas["cube"]
+    vec_density = perf["vector"] / 1e12 / areas["vector"]
+    assert cube_density > 8 * vec_density
+    # Absolute anchors within 5%.
+    assert abs(power["cube"] - 3.13) / 3.13 < 0.05
+    assert abs(areas["vector"] - 0.70) / 0.70 < 0.05

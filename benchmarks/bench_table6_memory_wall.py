@@ -1,0 +1,48 @@
+"""Table 6: the memory wall and I/O wall bandwidth pyramid.
+
+Paper rows (Ascend 910 @ 256 TFLOPS): cube engine 2048 TB/s (1),
+L0 2048 TB/s (1/1), L1 200 TB/s (1/10), LLC 20 TB/s (1/100), HBM 1 TB/s
+(1/2000), intra-server 50 GB/s (1/40000), inter-server 10 GB/s
+(1/200000).
+"""
+
+import pytest
+
+from repro.analysis import ascii_table, memory_wall_table
+from repro.config import ASCEND_910
+
+_PAPER_RATIOS = {
+    "Cube Engine": 1,
+    "L0 Memory": 1,
+    "L1 Memory": 1 / 10,
+    "LLC Memory": 1 / 100,
+    "HBM Memory": 1 / 2000,
+    "Intra AI Server (8 Chips)": 1 / 40_000,
+    "Inter AI Server": 1 / 200_000,
+}
+
+
+def test_table6_memory_wall(report, benchmark):
+    rows = benchmark(memory_wall_table, ASCEND_910)
+    table_rows = []
+    for row in rows:
+        paper = _PAPER_RATIOS[row.level]
+        table_rows.append([
+            row.level,
+            f"{row.bandwidth_tb_s:.3g} TB/s",
+            f"1/{1 / row.ratio_to_cube:.0f}" if row.ratio_to_cube < 1 else "1",
+            f"1/{1 / paper:.0f}" if paper < 1 else "1",
+        ])
+    report("table6_memory_wall", ascii_table(
+        ["level", "bandwidth", "ratio (model)", "ratio (paper)"],
+        table_rows, title="Table 6 — memory wall and I/O wall"))
+
+    by_level = {r.level: r for r in rows}
+    assert by_level["Cube Engine"].bandwidth_tb_s \
+        == pytest.approx(2048, rel=0.05)
+    for level, paper_ratio in _PAPER_RATIOS.items():
+        assert by_level[level].ratio_to_cube \
+            == pytest.approx(paper_ratio, rel=0.35), level
+    # The wall: >3 orders of magnitude between cube demand and HBM.
+    assert (by_level["Cube Engine"].bandwidth_bytes_per_s
+            / by_level["HBM Memory"].bandwidth_bytes_per_s) > 1000

@@ -1,0 +1,59 @@
+"""Table 9: automotive SoC PPA — Ascend 610 vs Xavier, FSD, EyeQ5.
+
+Paper rows: peak 34 / 73 / 24 / 160 TOPS at 30 / 100 / 10 / 65 W.  There
+is no standard automotive AI benchmark (Section 6.3), so the paper only
+compares peaks; we additionally model the *mechanism* claims — FSD's
+systolic arrays bubble on small networks, and the 610 sustains real-time
+perception+SLAM under contention (the QoS/MPAM bench covers the latter).
+"""
+
+import pytest
+
+from repro.baselines import TESLA_FSD
+from repro.dtypes import INT8
+from repro.perf import PpaRow, format_table
+from repro.soc import AutomotiveSoc
+
+_COMPETITORS = [
+    ("nvidia-xavier", 34e12, 30.0, 350.0, 12),
+    ("tesla-fsd", 73e12, 100.0, 260.0, 14),
+    ("mobileye-eyeq5", 24e12, 10.0, None, 7),
+]
+
+
+def test_table9_automotive_ppa(report, benchmark):
+    soc = AutomotiveSoc()
+    perception = benchmark.pedantic(lambda: soc.perception_inference(batch=8),
+                                    rounds=1, iterations=1)
+    rows = [
+        PpaRow(name, peak_ops=ops, power_w=w, area_mm2=area, process_nm=nm)
+        for name, ops, w, area, nm in _COMPETITORS
+    ]
+    rows.append(PpaRow("ascend-610", peak_ops=soc.peak_tops(INT8) * 1e12,
+                       power_w=65.0, area_mm2=401.0, process_nm=7,
+                       metrics={"ResNet50 b8 ms": perception.latency_ms}))
+    table = format_table(rows, ["ResNet50 b8 ms"],
+                         title="Table 9 — automotive SoC PPA")
+    report("table9_auto_ppa",
+           table + "\npaper peaks: 34 / 73 / 24 / 160 TOPS")
+
+    # Shape claims: 610 leads peak TOPS and peak TOPS/W among the four.
+    assert soc.peak_tops(INT8) == pytest.approx(160, rel=0.05)
+    best_competitor = max(ops / w for _, ops, w, _, _ in _COMPETITORS)
+    assert soc.peak_tops(INT8) * 1e12 / 65.0 > best_competitor
+    # Real-time: an 8-camera perception step fits a 33 ms frame budget.
+    assert perception.latency_ms < 33
+
+
+def test_fsd_small_network_bubbles(report, benchmark):
+    """Section 6.3: FSD 'suffers from the massive bubbles in pipeline
+    during processing small-scale neural networks'."""
+    utils = benchmark.pedantic(
+        lambda: {m: TESLA_FSD.gemm_utilization(m, 256, 256)
+                 for m in (8, 32, 128, 512, 4096)},
+        rounds=1, iterations=1)
+    lines = [f"M={m:5d}: utilization {u:.1%}" for m, u in utils.items()]
+    report("table9_fsd_bubbles", "\n".join(
+        ["FSD-like 96x96 systolic utilization vs GEMM M:"] + lines))
+    assert utils[8] < 0.05
+    assert utils[4096] > 0.7

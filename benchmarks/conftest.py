@@ -1,0 +1,53 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, asserts the
+*shape* claims (who wins, rough factors, crossovers), and writes the
+rendered rows/series to ``benchmarks/results/<name>.txt`` (also printed,
+visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.compiler import GraphEngine
+from repro.config import ASCEND, ASCEND_LITE, ASCEND_MAX, ASCEND_TINY
+from repro.soc import TrainingSoc
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that persists and prints a rendered table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}", file=sys.stderr)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def max_engine() -> GraphEngine:
+    return GraphEngine(ASCEND_MAX)
+
+
+@pytest.fixture(scope="session")
+def lite_engine() -> GraphEngine:
+    return GraphEngine(ASCEND_LITE)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine() -> GraphEngine:
+    return GraphEngine(ASCEND_TINY)
+
+
+@pytest.fixture(scope="session")
+def soc_910() -> TrainingSoc:
+    return TrainingSoc()

@@ -1,0 +1,32 @@
+"""Shared helper for the Figure 4-8 cube/vector ratio benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import RatioPoint, ascii_chart, cube_vector_ratios
+from repro.compiler import GraphEngine
+from repro.graph import Graph
+
+
+def ratio_figure(graph: Graph, engine: GraphEngine, title: str = "",
+                 workloads=None, skip_layers: Sequence[str] = ()
+                 ) -> Tuple[List[RatioPoint], str]:
+    """Compute the per-layer ratio series and render it as the paper's
+    line chart (one bar per layer, reference line at ratio = 1)."""
+    points = [
+        p for p in cube_vector_ratios(graph, engine.config,
+                                      workloads=workloads, engine=engine)
+        if p.layer not in skip_layers
+    ]
+    chart = ascii_chart([(p.layer, p.ratio) for p in points], width=46,
+                        title=title, marker_at=1.0)
+    return points, chart
+
+
+def fraction_above_one(points: Sequence[RatioPoint]) -> float:
+    return sum(p.ratio > 1 for p in points) / len(points)
+
+
+def fraction_in_unit_interval(points: Sequence[RatioPoint]) -> float:
+    return sum(0 < p.ratio < 1 for p in points) / len(points)

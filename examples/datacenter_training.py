@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Data-center scenario (Sections 3.1, 4.2, 8): training at cluster scale.
+
+Walks the whole scaling story: one Ascend 910 chip (32 Ascend-Max cores
+behind the 4x6 mesh and HBM), an 8-chip HCCS/PCIe server, and the
+fat-tree cluster running the paper's headline job — ResNet-50/ImageNet
+on 256 chips.
+
+Run:  python examples/datacenter_training.py
+"""
+
+from repro.cluster import DataParallelTrainer
+from repro.soc import TrainingSoc
+
+
+def main() -> None:
+    soc = TrainingSoc()
+    from repro.dtypes import FP16
+
+    print(f"Chip: {soc.config.name} — {soc.config.ai_core_count} cores, "
+          f"{soc.config.peak_ops(FP16) / 1e12:.0f} TFLOPS fp16, "
+          f"{soc.config.noc.rows}x{soc.config.noc.cols} mesh, "
+          f"{soc.config.dram_bw / 1e12:.1f} TB/s HBM")
+
+    step = soc.resnet50_training(batch=256)
+    print(f"\n[chip] ResNet-50 training step (batch 256): "
+          f"{step.latency_ms:.1f} ms -> "
+          f"{step.throughput_items_per_s:,.0f} img/s "
+          f"({step.bound}-bound; Table 7 reports 1809 img/s)")
+
+    bert = soc.bert_large_training(batch=64, seq=128)
+    print(f"[chip] BERT-Large training: "
+          f"{bert.throughput_items_per_s:,.0f} seq/s per chip")
+
+    trainer = DataParallelTrainer()
+    print("\n[cluster] ResNet-50/ImageNet time-to-train "
+          "(paper: <83 s on 256 chips):")
+    for chips in (8, 64, 256, 1024, 2048):
+        ttt = trainer.resnet50_time_to_train(chips, soc=soc)
+        print(f"  {chips:5d} chips: {ttt.images_per_second:>11,.0f} img/s  "
+              f"eff {ttt.scaling_efficiency:5.1%}  "
+              f"time-to-train {ttt.total_seconds:6.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Mixed-precision training on the simulated core (Sections 2.1, 3.1).
+
+Trains a two-layer MLP on a synthetic two-moons classification task with
+every GEMM — forward *and* backward — executed as compiled, tiled cube
+kernels on a simulated Ascend core, using the paper's mixed-precision
+contract: fp16 operands into the cube, fp32 accumulation, fp32 master
+weights on the host (the optimizer).
+
+Run:  python examples/train_mlp_on_device.py
+"""
+
+import numpy as np
+
+from repro import ASCEND_MAX, AscendCore, matmul_op
+
+
+def two_moons(n: int, rng: np.random.Generator):
+    """A classic nonlinearly-separable 2-class dataset."""
+    t = rng.uniform(0, np.pi, n)
+    upper = np.stack([np.cos(t), np.sin(t)], axis=1)
+    lower = np.stack([1 - np.cos(t), 0.5 - np.sin(t)], axis=1)
+    x = np.concatenate([upper, lower]) + rng.normal(0, 0.08, (2 * n, 2))
+    y = np.concatenate([np.zeros(n, int), np.ones(n, int)])
+    idx = rng.permutation(2 * n)
+    return x[idx].astype(np.float32), y[idx]
+
+
+class DeviceMlp:
+    """2-64-2 MLP whose matmuls run on a simulated Ascend core."""
+
+    def __init__(self, core: AscendCore, hidden: int = 64, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.core = core
+        self.w1 = rng.normal(0, 0.5, (2, hidden)).astype(np.float32)
+        self.b1 = np.zeros(hidden, np.float32)
+        self.w2 = rng.normal(0, 0.5, (hidden, 2)).astype(np.float32)
+        self.b2 = np.zeros(2, np.float32)
+        self.device_cycles = 0
+
+    def _gemm(self, a, b):
+        out, result = matmul_op(self.core, a.astype(np.float16),
+                                b.astype(np.float16))
+        self.device_cycles += result.cycles
+        return out.astype(np.float32)
+
+    def step(self, x, y, lr: float = 0.5):
+        n = len(x)
+        # Forward (cube kernels).
+        h_pre = self._gemm(x, self.w1) + self.b1
+        h = np.maximum(h_pre, 0)
+        logits = self._gemm(h, self.w2) + self.b2
+        # Softmax cross-entropy (vector-unit work on real silicon).
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        p = np.exp(shifted)
+        p /= p.sum(axis=1, keepdims=True)
+        loss = -np.log(p[np.arange(n), y] + 1e-9).mean()
+        # Backward (cube kernels: dW = A^T dC, dX = dC B^T).
+        dlogits = p.copy()
+        dlogits[np.arange(n), y] -= 1
+        dlogits /= n
+        dw2 = self._gemm(h.T, dlogits)
+        db2 = dlogits.sum(axis=0)
+        dh = self._gemm(dlogits, self.w2.T)
+        dh[h_pre <= 0] = 0
+        dw1 = self._gemm(x.T, dh)
+        db1 = dh.sum(axis=0)
+        # fp32 master-weight update (host optimizer).
+        self.w1 -= lr * dw1
+        self.b1 -= lr * db1
+        self.w2 -= lr * dw2
+        self.b2 -= lr * db2
+        return loss
+
+    def accuracy(self, x, y):
+        h = np.maximum(self._gemm(x, self.w1) + self.b1, 0)
+        logits = self._gemm(h, self.w2) + self.b2
+        return (logits.argmax(axis=1) == y).mean()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    x, y = two_moons(128, rng)
+    core = AscendCore(ASCEND_MAX)
+    model = DeviceMlp(core)
+
+    print(f"training 2-64-2 MLP on {core.config.name} "
+          "(fp16 cube GEMMs, fp32 master weights)")
+    epochs = 120
+    for epoch in range(epochs):
+        loss = model.step(x, y, lr=1.0 if epoch < 60 else 0.3)
+        if epoch % 20 == 0 or epoch == epochs - 1:
+            print(f"  epoch {epoch:3d}: loss {loss:.4f}")
+    acc = model.accuracy(x, y)
+    print(f"final train accuracy: {acc:.1%}")
+    print(f"simulated device work: {model.device_cycles:,} cycles "
+          f"({model.device_cycles / core.config.frequency_hz * 1e3:.2f} ms)")
+    assert acc > 0.95, "training failed to converge"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""ASCII Gantt rendering of execution traces — Figure 3 made visible.
+
+One row per pipe, time flowing right; busy intervals are drawn with the
+instruction class's letter (M cube, V vector, 1/2/3 the MTEs, s scalar).
+Used by examples and handy when debugging synchronization in compiled
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.trace import ExecutionTrace
+from ..isa.instructions import (
+    CopyInstr,
+    CubeMatmul,
+    DecompressInstr,
+    Img2ColInstr,
+    ScalarInstr,
+    TransposeInstr,
+    VectorInstr,
+)
+from ..isa.pipes import Pipe
+
+__all__ = ["render_gantt"]
+
+_GLYPH = {
+    Pipe.M: "M",
+    Pipe.V: "V",
+    Pipe.MTE1: "1",
+    Pipe.MTE2: "2",
+    Pipe.MTE3: "3",
+    Pipe.S: "s",
+}
+_PAYLOAD = (CubeMatmul, VectorInstr, CopyInstr, Img2ColInstr,
+            TransposeInstr, DecompressInstr, ScalarInstr)
+
+
+def render_gantt(trace: ExecutionTrace, width: int = 100,
+                 window: Optional[tuple] = None) -> str:
+    """Render per-pipe occupancy over (a window of) the trace.
+
+    Flag bookkeeping (1-cycle events) is omitted; only payload
+    instructions draw.  ``window`` is an optional (start, end) cycle
+    range; default is the whole trace.
+    """
+    total = trace.total_cycles
+    if total == 0:
+        return "(empty trace)"
+    lo, hi = window or (0, total)
+    hi = min(hi, total)
+    if hi <= lo:
+        raise ValueError(f"bad window [{lo}, {hi})")
+    span = hi - lo
+    scale = width / span
+
+    rows: Dict[Pipe, List[str]] = {p: [" "] * width for p in Pipe}
+    for event in trace.events:
+        if not isinstance(event.instr, _PAYLOAD):
+            continue
+        if event.end <= lo or event.start >= hi:
+            continue
+        start_col = max(0, int((event.start - lo) * scale))
+        end_col = min(width, max(start_col + 1, int((event.end - lo) * scale)))
+        glyph = _GLYPH[event.pipe]
+        row = rows[event.pipe]
+        for col in range(start_col, end_col):
+            row[col] = glyph
+
+    lines = [f"cycles [{lo}, {hi})  ('{_GLYPH[Pipe.M]}'=cube, "
+             f"'{_GLYPH[Pipe.V]}'=vector, '1/2/3'=MTE, 's'=scalar)"]
+    for pipe in (Pipe.MTE2, Pipe.MTE1, Pipe.M, Pipe.V, Pipe.MTE3, Pipe.S):
+        body = "".join(rows[pipe])
+        if body.strip() or pipe is not Pipe.S:
+            busy = trace.busy_cycles(pipe)
+            lines.append(f"{pipe.name:>4} |{body}| {busy:,}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""L1 bandwidth demand profiling (Figure 9).
+
+Per layer: bytes read from / written to the L1 buffer divided by the
+layer's cycles, in bits/cycle — the quantity the paper profiles on an
+unlimited-bandwidth configuration to size the Table 5 buses.  The claims
+to reproduce: reads stay under 4096 bits/cycle, writes under 2048, and
+MobileNet demands more relative bandwidth than the bigger nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..compiler.graph_engine import GraphEngine
+from ..config.core_configs import CoreConfig
+from ..graph import Graph
+from ..graph.workload import OpWorkload
+
+__all__ = ["BandwidthPoint", "l1_bandwidth_profile"]
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One layer's L1 read/write demand."""
+
+    layer: str
+    read_bits_per_cycle: float
+    write_bits_per_cycle: float
+    cycles: int
+
+
+def l1_bandwidth_profile(
+    graph: Graph,
+    config: CoreConfig,
+    workloads: Optional[Sequence[Tuple[str, OpWorkload]]] = None,
+    engine: Optional[GraphEngine] = None,
+) -> List[BandwidthPoint]:
+    """Per-layer L1 bandwidth demand for a model on a core design point."""
+    engine = engine or GraphEngine(config)
+    compiled = engine.compile_graph(graph, workloads=workloads)
+    return [
+        BandwidthPoint(
+            layer=layer.name,
+            read_bits_per_cycle=layer.l1_read_bits_per_cycle,
+            write_bits_per_cycle=layer.l1_write_bits_per_cycle,
+            cycles=layer.cycles,
+        )
+        for layer in compiled.layers
+    ]

@@ -1,0 +1,66 @@
+"""The memory wall / I/O wall pyramid (Table 6).
+
+Starting from the cube engines' demand bandwidth (256 TFLOPS of fp16
+needs 2048 TB/s of operand feed at zero reuse), each level of the
+hierarchy divides the requirement by its reuse factor; the table reports
+expected bandwidth and the ratio to the cube demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config.soc_configs import ASCEND_910, SocConfig
+from ..dtypes import FP16
+
+__all__ = ["MemoryWallRow", "memory_wall_table"]
+
+
+@dataclass(frozen=True)
+class MemoryWallRow:
+    """One level of the Table 6 pyramid."""
+
+    level: str
+    bandwidth_bytes_per_s: float
+    ratio_to_cube: float
+
+    @property
+    def bandwidth_tb_s(self) -> float:
+        return self.bandwidth_bytes_per_s / 1e12
+
+
+def cube_demand_bandwidth(soc: SocConfig = ASCEND_910) -> float:
+    """Zero-reuse operand demand of all cube engines.
+
+    The paper charges 8 bytes of port traffic per FLOP (two operands plus
+    fp32 partial-sum read/write amortized per MAC = 16 B / 2 FLOPs), so
+    256 TFLOPS demands 2048 TB/s — Table 6's top row.
+    """
+    return soc.peak_ops(FP16) * 8
+
+
+def memory_wall_table(soc: SocConfig = ASCEND_910,
+                      intra_server_bw: float = 50e9,
+                      inter_server_bw: float = 10e9) -> List[MemoryWallRow]:
+    """Build the Table 6 rows for an SoC configuration."""
+    cube = cube_demand_bandwidth(soc)
+    l0 = cube  # L0 is sized to feed the cube at full rate
+    # Each lower level relies on ~10x data reuse in the level above
+    # (Section 4.1: "reduce the memory bandwidth by 10 times in each
+    # lower layer").
+    l1 = l0 / 10
+    llc = l1 / 10
+    hbm = soc.dram_bw
+    rows = [
+        MemoryWallRow("Cube Engine", cube, 1.0),
+        MemoryWallRow("L0 Memory", l0, l0 / cube),
+        MemoryWallRow("L1 Memory", l1, l1 / cube),
+        MemoryWallRow("LLC Memory", llc, llc / cube),
+        MemoryWallRow("HBM Memory", hbm, hbm / cube),
+        MemoryWallRow("Intra AI Server (8 Chips)", intra_server_bw,
+                      intra_server_bw / cube),
+        MemoryWallRow("Inter AI Server", inter_server_bw,
+                      inter_server_bw / cube),
+    ]
+    return rows

@@ -1,0 +1,58 @@
+"""Cube/vector execution-time ratio profiles (Figures 4-8).
+
+For every layer group of a model, compile it for a core design point and
+report the ratio of cube busy cycles to vector busy cycles.  Ratios above
+1 mean vector time hides under cube time — the resource-matching design
+target of Section 2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..compiler.graph_engine import GraphEngine
+from ..config.core_configs import CoreConfig
+from ..graph import Graph
+from ..graph.workload import OpWorkload
+
+__all__ = ["RatioPoint", "cube_vector_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """One layer's point on a Figure 4-8 line chart."""
+
+    layer: str
+    ratio: float
+    cube_cycles: int
+    vector_cycles: int
+
+    @property
+    def vector_hidden(self) -> bool:
+        """True when vector time fully hides under cube time."""
+        return self.ratio >= 1.0
+
+
+def cube_vector_ratios(
+    graph: Graph,
+    config: CoreConfig,
+    workloads: Optional[Sequence[Tuple[str, OpWorkload]]] = None,
+    engine: Optional[GraphEngine] = None,
+) -> List[RatioPoint]:
+    """Per-layer cube/vector busy-cycle ratios for a model on a core.
+
+    Pass ``workloads`` from :func:`repro.models.training.training_workloads`
+    to profile the training variant (Figure 5).
+    """
+    engine = engine or GraphEngine(config)
+    compiled = engine.compile_graph(graph, workloads=workloads)
+    return [
+        RatioPoint(
+            layer=layer.name,
+            ratio=layer.cube_vector_ratio,
+            cube_cycles=layer.cube_cycles,
+            vector_cycles=layer.vector_cycles,
+        )
+        for layer in compiled.layers
+    ]

@@ -1,0 +1,25 @@
+"""Baseline accelerator models for the paper's comparisons (Tables 4, 7-9).
+
+Each baseline implements the architectural mechanism the paper argues
+about — systolic fill/drain and normalization interrupts for TPUs/FSD,
+small-tensor-core reuse limits and SIMT overheads for GPUs, narrow SIMD
+for CPUs, reconfiguration latency for dataflow machines — so the claimed
+effects *emerge* rather than being transcribed.
+"""
+
+from .systolic import SystolicArray, TPU_V3, TESLA_FSD
+from .simt_gpu import SimtGpu, NVIDIA_V100, NVIDIA_XAVIER
+from .cpu import CpuModel, XEON_8180
+from .dataflow import DataflowAccelerator
+
+__all__ = [
+    "SystolicArray",
+    "TPU_V3",
+    "TESLA_FSD",
+    "SimtGpu",
+    "NVIDIA_V100",
+    "NVIDIA_XAVIER",
+    "CpuModel",
+    "XEON_8180",
+    "DataflowAccelerator",
+]

@@ -1,0 +1,56 @@
+"""Dataflow-architecture baseline (Section 7.1).
+
+«Dataflow architectures are incapable of performing main stream
+synchronous training ... in automobile, mobile and IoT scenarios,
+dataflow architecture can incur low computing utilization and large
+output delay.»  The model charges a per-graph reconfiguration latency and
+a pipeline-depth output delay, and refuses synchronous training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigError, SchedulingError
+from ..graph.workload import OpWorkload
+
+__all__ = ["DataflowAccelerator"]
+
+
+@dataclass(frozen=True)
+class DataflowAccelerator:
+    """A spatially-reconfigured dataflow engine."""
+
+    name: str = "dataflow"
+    peak_macs_per_s: float = 50e12
+    steady_state_efficiency: float = 0.9  # excellent once configured
+    reconfigure_s: float = 5e-3  # per graph (re)configuration
+    pipeline_depth_layers: float = 1.0  # fraction of the net in flight
+    supports_sync_training: bool = False
+
+    def __post_init__(self) -> None:
+        if self.peak_macs_per_s <= 0:
+            raise ConfigError("peak throughput must be positive")
+
+    def batch_seconds(self, workloads: Sequence[OpWorkload], batch: int,
+                      reconfigured: bool = True) -> float:
+        """Throughput-optimal batch time; great at steady state."""
+        macs = sum(w.macs for w in workloads) * batch
+        t = macs / (self.peak_macs_per_s * self.steady_state_efficiency)
+        if reconfigured:
+            t += self.reconfigure_s
+        return t
+
+    def single_inference_latency_s(self, workloads: Sequence[OpWorkload]) -> float:
+        """Latency for one input: the whole spatial pipeline must fill —
+        the "large output delay" the paper cites for edge scenarios."""
+        steady = self.batch_seconds(workloads, batch=1, reconfigured=False)
+        return steady * (1.0 + self.pipeline_depth_layers) + self.reconfigure_s
+
+    def training_step_seconds(self, workloads: Sequence[OpWorkload],
+                              batch: int) -> float:
+        raise SchedulingError(
+            f"{self.name}: dataflow architectures cannot run mainstream "
+            "synchronous training (Section 7.1)"
+        )

@@ -1,0 +1,120 @@
+"""SIMT GPU with small tensor cores (NVIDIA V100, Xavier).
+
+Section 7.1's critique, implemented as mechanisms:
+
+* tensor cores are 4x4x4, so each operand is reused only 4x — the
+  register/shared-memory bandwidth per sustained FLOP is 4x that of a
+  16x16x16 cube, and sustained throughput is capped by that local
+  bandwidth budget;
+* SIMT adds a fixed per-kernel launch overhead and spends datapath on
+  register-file traffic (the paper's TFLOPS/mm2 argument, Table 4);
+* elementwise/normalization work runs on the CUDA cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..graph.workload import OpWorkload
+
+__all__ = ["SimtGpu", "NVIDIA_V100", "NVIDIA_XAVIER"]
+
+
+@dataclass(frozen=True)
+class SimtGpu:
+    """A tensor-core GPU throughput model."""
+
+    name: str
+    sm_count: int
+    tensor_cores_per_sm: int
+    tensor_dim: int  # cube edge: 4 for V100-class tensor cores
+    frequency_hz: float
+    mem_bw: float  # bytes/s HBM/LPDDR
+    cuda_flops: float  # fp32 CUDA-core throughput for vector work
+    # Local (register + shared memory) bandwidth budget per SM, bytes/s.
+    local_bw_per_sm: float
+    kernel_launch_s: float = 6e-6
+
+    def __post_init__(self) -> None:
+        if min(self.sm_count, self.tensor_cores_per_sm, self.tensor_dim) <= 0:
+            raise ConfigError(f"{self.name}: bad GPU geometry")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return (self.sm_count * self.tensor_cores_per_sm
+                * self.tensor_dim ** 3 * self.frequency_hz)
+
+    @property
+    def peak_ops(self) -> float:
+        return 2 * self.peak_macs_per_s
+
+    @property
+    def reuse_factor(self) -> float:
+        """Each operand feeds ``tensor_dim`` MACs before being refetched."""
+        return float(self.tensor_dim)
+
+    def sustained_macs_per_s(self) -> float:
+        """Local-bandwidth-bound MAC rate.
+
+        Each MAC consumes two operands; with reuse r, operand traffic is
+        2 * 2 bytes / r per MAC, so the register/shared-memory budget caps
+        the rate at local_bw * r / 4.
+        """
+        local_bw = self.local_bw_per_sm * self.sm_count
+        bound = local_bw * self.reuse_factor / 4.0
+        return min(self.peak_macs_per_s, bound)
+
+    def gemm_seconds(self, m: int, k: int, n: int, count: int = 1) -> float:
+        """One GEMM kernel: tile-quantized compute vs HBM streaming."""
+        tile = 16 * self.tensor_dim  # warp-level tile (64 for V100)
+        eff_m = math.ceil(m / tile) * tile
+        eff_n = math.ceil(n / tile) * tile
+        eff_k = math.ceil(k / self.tensor_dim) * self.tensor_dim
+        macs = eff_m * eff_k * eff_n * count
+        compute = macs / self.sustained_macs_per_s()
+        bytes_moved = (m * k + k * n + m * n) * 2 * count
+        memory = bytes_moved / self.mem_bw
+        return max(compute, memory) + self.kernel_launch_s
+
+    def workload_seconds(self, workloads: Sequence[OpWorkload]) -> float:
+        total = 0.0
+        for work in workloads:
+            for g in work.gemms:
+                total += self.gemm_seconds(g.m, g.k, g.n, g.count)
+            if work.vector:
+                vector_flops = work.vector_elem_passes
+                vector_bytes = sum(v.bytes_processed for v in work.vector)
+                total += max(vector_flops / self.cuda_flops,
+                             vector_bytes / self.mem_bw) + self.kernel_launch_s
+        return total
+
+
+# NVIDIA V100 (Table 7): 80 SMs x 8 tensor cores (4x4x4) @ 1.53 GHz
+# -> ~125 TFLOPS fp16 peak; 900 GB/s HBM2; 15.7 TFLOPS fp32 CUDA.
+# local_bw_per_sm calibrated once against MLPerf-class ResNet-50
+# throughput (~1058 img/s), then reused for every other prediction.
+NVIDIA_V100 = SimtGpu(
+    name="nvidia-v100",
+    sm_count=80,
+    tensor_cores_per_sm=8,
+    tensor_dim=4,
+    frequency_hz=1.53e9,
+    mem_bw=900e9,
+    cuda_flops=15.7e12,
+    local_bw_per_sm=160e9,
+)
+
+# NVIDIA Xavier (Table 9): ~34 TOPS total (DLA + GPU), 137 GB/s LPDDR4x.
+NVIDIA_XAVIER = SimtGpu(
+    name="nvidia-xavier",
+    sm_count=8,
+    tensor_cores_per_sm=8,
+    tensor_dim=4,
+    frequency_hz=1.37e9,
+    mem_bw=137e9,
+    cuda_flops=2.8e12,
+    local_bw_per_sm=80e9,
+)

@@ -1,0 +1,113 @@
+"""Systolic-array accelerator model (TPU v3, Tesla FSD — speculative).
+
+Section 7.1: «the deep pipeline of Systolic Array incurs large prologue &
+epilogue latency overhead when running small networks, causing low
+computing utilization in mobile and IoT scenarios» and «in the NN
+training scenario, systolic array's pipeline is easily to be interrupted
+by Normalization layer».
+
+The model is weight-stationary: a GEMM runs in passes of (rows x cols)
+weight tiles; every pass streams M activations through a pipeline that is
+(rows + cols) stages deep, so each pass costs ``M + rows + cols`` cycles
+— the fill/drain overhead that murders small-M workloads.  Vector-unit
+interrupts (normalization between GEMMs) force a drain + refill.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigError
+from ..graph.workload import GemmWork, OpWorkload
+
+__all__ = ["SystolicArray", "TPU_V3", "TESLA_FSD"]
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """A weight-stationary systolic accelerator."""
+
+    name: str
+    rows: int
+    cols: int
+    array_count: int
+    frequency_hz: float
+    mem_bw: float  # bytes/s
+    vector_throughput: float  # elem-passes/s for non-GEMM work
+    # Extra cycles charged when a vector op interrupts the pipeline.
+    interrupt_penalty_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.array_count) <= 0:
+            raise ConfigError(f"{self.name}: bad array geometry")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return self.rows * self.cols * self.array_count * self.frequency_hz
+
+    @property
+    def peak_ops(self) -> float:
+        return 2 * self.peak_macs_per_s
+
+    # -- GEMM timing ---------------------------------------------------------------
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """Cycles for one GEMM on one array (weight-stationary passes)."""
+        passes = math.ceil(k / self.rows) * math.ceil(n / self.cols)
+        return passes * (m + self.rows + self.cols)
+
+    def gemm_utilization(self, m: int, k: int, n: int) -> float:
+        ideal = m * k * n / (self.rows * self.cols)
+        return ideal / self.gemm_cycles(m, k, n)
+
+    def workload_seconds(self, workloads: Sequence[OpWorkload],
+                         training: bool = False) -> float:
+        """Time for a sequence of layer workloads on the whole chip.
+
+        GEMMs parallelize across the ``array_count`` arrays; any layer
+        with vector work between GEMMs charges the interrupt penalty
+        (drain + refill), which is the training-normalization effect.
+        """
+        cycles = 0.0
+        vector_elem_passes = 0
+        bytes_moved = 0.0
+        for work in workloads:
+            for g in work.gemms:
+                per_array = self.gemm_cycles(g.m, g.k, g.n) * g.count
+                cycles += per_array / self.array_count
+                bytes_moved += g.a_bytes + g.b_bytes + g.c_elems * 2
+            if work.vector and work.gemms:
+                cycles += self.interrupt_penalty_cycles
+            vector_elem_passes += work.vector_elem_passes
+            bytes_moved += work.input_bytes + work.output_bytes
+        compute_s = cycles / self.frequency_hz
+        vector_s = vector_elem_passes / self.vector_throughput
+        memory_s = bytes_moved / self.mem_bw
+        # The vector unit serializes with the array around interrupts; the
+        # memory system overlaps.
+        return max(compute_s + vector_s, memory_s)
+
+
+# Google TPU v3 (Table 7): 2 cores x 2 MXUs of 128x128 @ ~940 MHz
+# (~105 TFLOPS bf16), 1.2 TB/s HBM.
+TPU_V3 = SystolicArray(
+    name="tpu-v3",
+    rows=128, cols=128, array_count=4,
+    frequency_hz=0.94e9,
+    mem_bw=1.2e12,
+    vector_throughput=128e9,
+    interrupt_penalty_cycles=2 * 128,
+)
+
+# Tesla FSD (Table 9, architecture speculative per the paper): 2 NPUs of
+# 96x96 MACs @ 2 GHz int8 (~73 TOPS), LPDDR4.
+TESLA_FSD = SystolicArray(
+    name="tesla-fsd",
+    rows=96, cols=96, array_count=2,
+    frequency_hz=2.0e9,
+    mem_bw=68e9,
+    vector_throughput=48e9,
+    interrupt_penalty_cycles=2 * 96,
+)

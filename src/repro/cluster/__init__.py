@@ -1,0 +1,20 @@
+"""Board- and cluster-level scaling (Section 4.2, Figure 15).
+
+An Ascend 910 *server* holds 8 chips in two HCCS-connected groups of 4
+bridged by PCIe; a *cluster* connects up to 256 servers (2048 chips,
+512 PFLOPS fp16) over a 100 Gb/s fat-tree.
+"""
+
+from .topology import HccsGroup, Ascend910Server, FatTreeCluster
+from .collectives import allreduce_seconds, hierarchical_allreduce_seconds
+from .training import DataParallelTrainer, TimeToTrain
+
+__all__ = [
+    "HccsGroup",
+    "Ascend910Server",
+    "FatTreeCluster",
+    "allreduce_seconds",
+    "hierarchical_allreduce_seconds",
+    "DataParallelTrainer",
+    "TimeToTrain",
+]

@@ -1,0 +1,61 @@
+"""Gradient allreduce cost models over the server/cluster topology.
+
+Standard ring-allreduce algebra: reducing ``nbytes`` over ``n`` ranks
+moves ``2 (n-1)/n * nbytes`` per rank, bounded by the slowest link.  The
+hierarchical variant (what HCCL does on this topology) reduces inside
+each HCCS group first, exchanges across PCIe, then rings across servers
+on the fat-tree — so the slow fat-tree link only carries 1/chips-per-
+server of the gradient volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .topology import Ascend910Server, FatTreeCluster
+
+__all__ = ["allreduce_seconds", "hierarchical_allreduce_seconds"]
+
+_LATENCY_PER_STEP = 10e-6  # per ring step software + switch latency
+
+
+def allreduce_seconds(nbytes: float, ranks: int, link_bw: float) -> float:
+    """Flat ring allreduce over ``ranks`` peers on homogeneous links."""
+    if ranks <= 0 or link_bw <= 0:
+        raise ConfigError("ranks and link bandwidth must be positive")
+    if ranks == 1 or nbytes <= 0:
+        return 0.0
+    volume = 2 * (ranks - 1) / ranks * nbytes
+    return volume / link_bw + 2 * (ranks - 1) * _LATENCY_PER_STEP
+
+
+def hierarchical_allreduce_seconds(nbytes: float, chips: int,
+                                   cluster: FatTreeCluster) -> float:
+    """Three-stage allreduce matched to the Figure 15 topology.
+
+    1. ring inside each 4-chip HCCS group (30 GB/s);
+    2. exchange between the two groups of a server over PCIe (32 GB/s);
+    3. ring across servers on the fat-tree (12.5 GB/s), carrying the
+       gradient shard of one chip (1/8 of the volume per server pair of
+       directions).
+    """
+    if chips <= 0:
+        raise ConfigError("chips must be positive")
+    server = cluster.server
+    per_server = server.chips
+    if chips <= server.group.chips:
+        return allreduce_seconds(nbytes, chips, server.intra_group_bw)
+    if chips <= per_server:
+        # Two groups: intra-group ring + PCIe exchange of the group sums.
+        intra = allreduce_seconds(nbytes, server.group.chips,
+                                  server.intra_group_bw)
+        inter = 2 * nbytes / server.inter_group_bw
+        return intra + inter
+    servers = math.ceil(chips / per_server)
+    intra = allreduce_seconds(nbytes, server.group.chips, server.intra_group_bw)
+    inter = 2 * nbytes / server.inter_group_bw
+    # Across servers each uplink carries the volume once reduced per
+    # server (sharded across its 8 chips in HCCL's ring).
+    tree = allreduce_seconds(nbytes / per_server, servers, cluster.link_bw)
+    return intra + inter + tree

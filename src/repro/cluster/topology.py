@@ -1,0 +1,72 @@
+"""Server and cluster topology (Section 4.2, Figure 15a).
+
+Bandwidth anchors from the paper: HCCS intra-group 30 GB/s, PCIe between
+the two groups 32 GB/s, 100 Gb/s (12.5 GB/s) links between servers on a
+fat-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["HccsGroup", "Ascend910Server", "FatTreeCluster"]
+
+
+@dataclass(frozen=True)
+class HccsGroup:
+    """A cache-coherent group of chips on one board."""
+
+    chips: int = 4
+    link_bw: float = 30e9  # bytes/s per chip, HCCS
+
+    def __post_init__(self) -> None:
+        if self.chips <= 0 or self.link_bw <= 0:
+            raise ConfigError("bad HCCS group")
+
+
+@dataclass(frozen=True)
+class Ascend910Server:
+    """Eight Ascend 910 chips: two HCCS groups bridged by PCIe."""
+
+    group: HccsGroup = HccsGroup()
+    groups: int = 2
+    pcie_bw: float = 32e9  # bytes/s between the groups
+
+    def __post_init__(self) -> None:
+        if self.groups <= 0 or self.pcie_bw <= 0:
+            raise ConfigError("bad server config")
+
+    @property
+    def chips(self) -> int:
+        return self.group.chips * self.groups
+
+    @property
+    def intra_group_bw(self) -> float:
+        return self.group.link_bw
+
+    @property
+    def inter_group_bw(self) -> float:
+        return self.pcie_bw
+
+
+@dataclass(frozen=True)
+class FatTreeCluster:
+    """Up to 256 servers on a non-blocking fat-tree (Figure 15a, top)."""
+
+    server: Ascend910Server = Ascend910Server()
+    servers: int = 256
+    link_bw: float = 100e9 / 8  # 100 Gb/s -> bytes/s per server uplink
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0 or self.link_bw <= 0:
+            raise ConfigError("bad cluster config")
+
+    @property
+    def chips(self) -> int:
+        return self.server.chips * self.servers
+
+    def peak_flops_fp16(self, per_chip: float = 256e12) -> float:
+        """512 PFLOPS for the full 2048-chip build."""
+        return self.chips * per_chip

@@ -1,0 +1,45 @@
+"""The multi-tier compiler stack (Section 5, Figure 16).
+
+* :mod:`tiling` — "Auto Tiling": searches the legal mapping space for the
+  tile shapes that minimize modeled cycles (a cost-model beam search
+  standing in for the paper's RL search; DESIGN.md substitutions).
+* :mod:`lowering` — lowers GEMM/vector workloads to double-buffered,
+  flag-synchronized instruction pipelines (the Figure 3 pattern).
+* :mod:`graph_engine` — Graph -> Streams -> Tasks -> Blocks (Figure 17).
+* :mod:`tbe` / :mod:`tik` / :mod:`cce` — the Level-3 / Level-2 / Level-1
+  programming models of Figure 16.
+* :mod:`op_library` — prebuilt functional operator kernels.
+"""
+
+from .tiling import Tiling, choose_tiling, legal_tilings
+from .lowering import lower_gemm, lower_vector_work, lower_workload, PostOp
+from .graph_engine import GraphEngine, CompiledModel, CompiledLayer
+from .stream import Stream, Task, Block
+from .op_library import matmul_op, conv2d_op, dense_op
+from .tbe import TbeExpr, TbeProgram, tbe_compute
+from .tik import TikKernel
+from .cce import CceAssembler
+
+__all__ = [
+    "Tiling",
+    "choose_tiling",
+    "legal_tilings",
+    "lower_gemm",
+    "lower_vector_work",
+    "lower_workload",
+    "PostOp",
+    "GraphEngine",
+    "CompiledModel",
+    "CompiledLayer",
+    "Stream",
+    "Task",
+    "Block",
+    "matmul_op",
+    "conv2d_op",
+    "dense_op",
+    "TbeExpr",
+    "TbeProgram",
+    "tbe_compute",
+    "TikKernel",
+    "CceAssembler",
+]

@@ -1,0 +1,232 @@
+"""Graph Engine: compile model graphs into per-layer programs and streams.
+
+This is the "Graph -> Streams -> Tasks" tier of Figure 16.  Each layer
+group is lowered (``lower_workload``), scheduled on the event engine, and
+summarized into a :class:`CompiledLayer` carrying the statistics every
+evaluation figure needs: per-pipe busy cycles, L1 traffic, GM traffic.
+
+Identical layer groups (e.g. the 12/24 transformer layers of BERT) hit a
+compilation cache keyed by workload structure, so large models compile in
+seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config.core_configs import CoreConfig
+from ..core.costs import CostModel
+from ..core.engine import schedule
+from ..graph import Graph
+from ..graph.ops import Conv2D, DepthwiseConv2D
+from ..graph.workload import OpWorkload
+from ..isa.pipes import Pipe
+from .lowering import lower_workload
+from .stream import Block, Stream, Task
+
+__all__ = ["CompiledLayer", "CompiledModel", "GraphEngine"]
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """Timing/traffic summary of one compiled layer group."""
+
+    name: str
+    workload: OpWorkload
+    cycles: int
+    cube_cycles: int
+    vector_cycles: int
+    mte1_cycles: int
+    mte2_cycles: int
+    mte3_cycles: int
+    l1_read_bytes: int
+    l1_write_bytes: int
+    gm_read_bytes: int
+    gm_write_bytes: int
+    instr_count: int
+
+    @property
+    def cube_vector_ratio(self) -> float:
+        """The paper's Figures 4-8 metric: cube busy / vector busy time.
+
+        Layers with no vector work at all report ``inf``; layers with no
+        cube work report 0.
+        """
+        if self.vector_cycles == 0:
+            return math.inf if self.cube_cycles else 0.0
+        return self.cube_cycles / self.vector_cycles
+
+    @property
+    def l1_read_bits_per_cycle(self) -> float:
+        """Figure 9's metric (demand averaged over the layer)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.l1_read_bytes * 8 / self.cycles
+
+    @property
+    def l1_write_bits_per_cycle(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.l1_write_bytes * 8 / self.cycles
+
+
+@dataclass
+class CompiledModel:
+    """All compiled layers of one model on one core design point."""
+
+    name: str
+    config: CoreConfig
+    layers: List[CompiledLayer]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.config.frequency_hz
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.workload.macs for layer in self.layers)
+
+    def cube_utilization(self) -> float:
+        """Achieved / peak MACs over the whole model."""
+        peak = self.config.cube.macs_per_cycle * self.total_cycles
+        return self.total_macs / peak if peak else 0.0
+
+    def gm_traffic_bytes(self) -> Tuple[int, int]:
+        return (
+            sum(l.gm_read_bytes for l in self.layers),
+            sum(l.gm_write_bytes for l in self.layers),
+        )
+
+
+class GraphEngine:
+    """Compiles graphs for one core design point, with a workload cache.
+
+    The cache is process-global and keyed by (core design point, workload
+    structure): two engines for the same design point share compiled
+    layers, so constructing many SoC models (LLC sweeps, PPA tables) does
+    not recompile identical layers.
+    """
+
+    _GLOBAL_CACHE: Dict[Tuple, CompiledLayer] = {}
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.costs = CostModel(config)
+        self._cache = GraphEngine._GLOBAL_CACHE
+
+    # -- layer compilation ----------------------------------------------------
+
+    def compile_workload(self, work: OpWorkload, name: Optional[str] = None,
+                         a_bytes_scale: float = 1.0,
+                         weight_density: Optional[float] = None
+                         ) -> CompiledLayer:
+        """Lower + schedule one workload, with structural caching."""
+        key = (self.config.name, work.gemms, work.vector, work.weight_bytes,
+               work.input_bytes, work.output_bytes, a_bytes_scale,
+               weight_density)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return CompiledLayer(
+                name=name or work.name, workload=work, cycles=cached.cycles,
+                cube_cycles=cached.cube_cycles,
+                vector_cycles=cached.vector_cycles,
+                mte1_cycles=cached.mte1_cycles, mte2_cycles=cached.mte2_cycles,
+                mte3_cycles=cached.mte3_cycles,
+                l1_read_bytes=cached.l1_read_bytes,
+                l1_write_bytes=cached.l1_write_bytes,
+                gm_read_bytes=cached.gm_read_bytes,
+                gm_write_bytes=cached.gm_write_bytes,
+                instr_count=cached.instr_count,
+            )
+        program = lower_workload(work, self.config,
+                                 a_bytes_scale_for_gemms=a_bytes_scale,
+                                 weight_density=weight_density)
+        trace = schedule(program, self.costs)
+        l1_read, l1_write = trace.l1_traffic_bytes()
+        gm_read, gm_write = trace.gm_traffic_bytes()
+        layer = CompiledLayer(
+            name=name or work.name,
+            workload=work,
+            cycles=trace.total_cycles,
+            cube_cycles=trace.busy_cycles(Pipe.M),
+            vector_cycles=trace.busy_cycles(Pipe.V),
+            mte1_cycles=trace.busy_cycles(Pipe.MTE1),
+            mte2_cycles=trace.busy_cycles(Pipe.MTE2),
+            mte3_cycles=trace.busy_cycles(Pipe.MTE3),
+            l1_read_bytes=l1_read,
+            l1_write_bytes=l1_write,
+            gm_read_bytes=gm_read,
+            gm_write_bytes=gm_write,
+            instr_count=len(program),
+        )
+        self._cache[key] = layer
+        return layer
+
+    # -- model compilation ----------------------------------------------------
+
+    def compile_graph(self, graph: Graph,
+                      workloads: Optional[Sequence[Tuple[str, OpWorkload]]] = None
+                      ) -> CompiledModel:
+        """Compile a model graph, one CompiledLayer per layer group.
+
+        ``workloads`` overrides the graph's own grouped workloads — the
+        training path passes :func:`~repro.models.training.training_workloads`
+        output here.
+        """
+        pairs = workloads if workloads is not None else graph.grouped_workloads()
+        scales = _im2col_scales(graph)
+        layers = [
+            self.compile_workload(work, name=group,
+                                  a_bytes_scale=scales.get(group, 1.0))
+            for group, work in pairs
+        ]
+        return CompiledModel(name=graph.name, config=self.config, layers=layers)
+
+    def to_streams(self, compiled: CompiledModel, blocks_per_task: int = 1
+                   ) -> Stream:
+        """Turn a compiled model into a Figure 17 stream of tasks.
+
+        ``blocks_per_task`` splits every layer across that many blocks
+        (batch / output-tile parallelism) for multi-core scheduling.
+        """
+        tasks = []
+        for layer in compiled.layers:
+            per_block = math.ceil(layer.cycles / blocks_per_task)
+            blocks = [
+                Block(
+                    name=f"{layer.name}.b{i}",
+                    cycles=per_block,
+                    gm_read_bytes=layer.gm_read_bytes // blocks_per_task,
+                    gm_write_bytes=layer.gm_write_bytes // blocks_per_task,
+                )
+                for i in range(blocks_per_task)
+            ]
+            tasks.append(Task(name=layer.name, blocks=blocks,
+                              workload=layer.workload))
+        return Stream(name=compiled.name, tasks=tasks)
+
+
+def _im2col_scales(graph: Graph) -> Dict[str, float]:
+    """Per-group GM fetch scale for convolution A-matrices.
+
+    A KxK/stride-s convolution's im2col matrix re-reads each input pixel
+    up to (K/s)^2 times; the raw image is fetched from GM once and the
+    expansion happens on-chip (MTE img2col), so GM traffic scales by the
+    inverse expansion factor.
+    """
+    scales: Dict[str, float] = {}
+    for op in graph:
+        if isinstance(op, Conv2D):
+            kh, kw = op.kernel
+            sh, sw = op.stride
+            expansion = max(1.0, (kh / sh) * (kw / sw))
+            group = op.group or op.name
+            # Keep the strongest (smallest) scale seen in the group.
+            scales[group] = min(scales.get(group, 1.0), 1.0 / expansion)
+    return scales

@@ -1,0 +1,172 @@
+"""Operator library: prebuilt functional kernels over the public API.
+
+These are the "Operator Lib" entries of Figure 16 — ready-made kernels a
+framework calls without writing TBE/TIK code.  Each takes host numpy
+arrays, stages them in GM, runs a compiled program on an
+:class:`~repro.core.core.AscendCore`, and returns host arrays, together
+with the :class:`~repro.core.core.RunResult` for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.core import AscendCore, RunResult
+from ..dtypes import DType, FP16, FP32, accumulator_for
+from ..errors import CompileError
+from ..isa.instructions import (
+    CopyInstr,
+    CubeMatmul,
+    Img2ColInstr,
+    SetFlag,
+    VectorInstr,
+    VectorOpcode,
+    WaitFlag,
+)
+from ..isa.memref import MemSpace, Region
+from ..isa.pipes import Pipe
+from ..isa.program import Program
+from .lowering import GemmLayout, PostOp, lower_gemm
+
+__all__ = ["matmul_op", "dense_op", "conv2d_op"]
+
+_ACTIVATION_OPS = {
+    "relu": VectorOpcode.RELU,
+    "gelu": VectorOpcode.GELU,
+    "tanh": VectorOpcode.TANH,
+    "sigmoid": VectorOpcode.SIGMOID,
+}
+
+
+def _post_ops(activation: Optional[str]) -> Tuple[PostOp, ...]:
+    if activation is None:
+        return ()
+    try:
+        return (PostOp(_ACTIVATION_OPS[activation]),)
+    except KeyError:
+        raise CompileError(
+            f"unknown activation {activation!r}; known: {sorted(_ACTIVATION_OPS)}"
+        ) from None
+
+
+def matmul_op(core: AscendCore, a: np.ndarray, b: np.ndarray,
+              bias: Optional[np.ndarray] = None,
+              activation: Optional[str] = None,
+              dtype: DType = FP16) -> Tuple[np.ndarray, RunResult]:
+    """C = activation(A @ B + bias) through the full compile/run path."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise CompileError(f"matmul shapes incompatible: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    _, n = b.shape
+    a_off = 0
+    b_off = a_off + _aligned(m * k * dtype.bytes)
+    c_off = b_off + _aligned(k * n * dtype.bytes)
+    bias_off = c_off + _aligned(m * n * dtype.bytes)
+    layout = GemmLayout(a_off, b_off, c_off,
+                        bias_offset=bias_off if bias is not None else None)
+    program = lower_gemm(m, k, n, core.config, dtype=dtype, layout=layout,
+                         post_ops=_post_ops(activation), tag="matmul")
+    core.memory.write(Region(MemSpace.GM, a_off, (m, k), dtype), a)
+    core.memory.write(Region(MemSpace.GM, b_off, (k, n), dtype), b)
+    if bias is not None:
+        core.memory.write(Region(MemSpace.GM, bias_off, (1, n), dtype),
+                          np.asarray(bias).reshape(1, n))
+    result = core.run(program)
+    out = core.memory.read(Region(MemSpace.GM, c_off, (m, n), dtype))
+    return out, result
+
+
+def dense_op(core: AscendCore, x: np.ndarray, weights: np.ndarray,
+             bias: Optional[np.ndarray] = None,
+             activation: Optional[str] = None,
+             dtype: DType = FP16) -> Tuple[np.ndarray, RunResult]:
+    """Fully-connected layer: rows of ``x`` through ``weights`` (K, N)."""
+    lead = x.shape[:-1]
+    flat = x.reshape(-1, x.shape[-1])
+    out, result = matmul_op(core, flat, weights, bias=bias,
+                            activation=activation, dtype=dtype)
+    return out.reshape(*lead, weights.shape[1]), result
+
+
+def conv2d_op(core: AscendCore, image: np.ndarray, weights: np.ndarray,
+              stride: Tuple[int, int] = (1, 1),
+              padding: Tuple[int, int] = (0, 0),
+              activation: Optional[str] = None,
+              dtype: DType = FP16) -> Tuple[np.ndarray, RunResult]:
+    """Single-image convolution exercising the MTE img2col path.
+
+    ``image`` is (H, W, Cin); ``weights`` is (KH, KW, Cin, Cout).  The
+    kernel stages the image in L1, expands it into L0A with one
+    :class:`Img2ColInstr`, and multiplies against the flattened weights —
+    so it is restricted to problems whose expanded matrix fits L0 (the
+    validation-scale path; large convolutions go through the tiled GEMM
+    lowering).
+    """
+    if image.ndim != 3 or weights.ndim != 4:
+        raise CompileError("conv2d_op expects (H,W,C) image and (KH,KW,Cin,Cout) weights")
+    h, w, cin = image.shape
+    kh, kw, wcin, cout = weights.shape
+    if wcin != cin:
+        raise CompileError(f"channel mismatch: image {cin} vs weights {wcin}")
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    m, k, n = oh * ow, kh * kw * cin, cout
+    acc = accumulator_for(dtype)
+    cfg = core.config
+    if (m * k * dtype.bytes > cfg.l0a_bytes or k * n * dtype.bytes > cfg.l0b_bytes
+            or m * n * acc.bytes > cfg.l0c_bytes):
+        raise CompileError(
+            f"conv2d_op is the validation-scale kernel; {m}x{k}x{n} exceeds L0 "
+            f"on {cfg.name} — lower through lower_workload instead"
+        )
+
+    img_b = int(h * w * cin * dtype.bytes)
+    wt_b = int(k * n * dtype.bytes)
+    gm_img = Region(MemSpace.GM, 0, (h, w, cin), dtype)
+    gm_wt = Region(MemSpace.GM, _aligned(img_b), (k, n), dtype)
+    gm_out = Region(MemSpace.GM, _aligned(img_b) + _aligned(wt_b), (m, n), dtype)
+    l1_img = Region(MemSpace.L1, 0, (h, w, cin), dtype)
+    l1_wt = Region(MemSpace.L1, _aligned(img_b), (k, n), dtype)
+    l0a = Region(MemSpace.L0A, 0, (m, k), dtype)
+    l0b = Region(MemSpace.L0B, 0, (k, n), dtype)
+    l0c = Region(MemSpace.L0C, 0, (m, n), acc)
+    ub = Region(MemSpace.UB, 0, (m, n), dtype)
+
+    P = Pipe
+    instrs = [
+        CopyInstr(dst=l1_img, src=gm_img, tag="conv"),
+        CopyInstr(dst=l1_wt, src=gm_wt, tag="conv"),
+        SetFlag(src_pipe=P.MTE2, dst_pipe=P.MTE1, event_id=0, tag="conv"),
+        WaitFlag(src_pipe=P.MTE2, dst_pipe=P.MTE1, event_id=0, tag="conv"),
+        Img2ColInstr(dst=l0a, src=l1_img, kernel=(kh, kw), stride=stride,
+                     padding=padding, tag="conv"),
+        CopyInstr(dst=l0b, src=l1_wt, tag="conv"),
+        SetFlag(src_pipe=P.MTE1, dst_pipe=P.M, event_id=0, tag="conv"),
+        WaitFlag(src_pipe=P.MTE1, dst_pipe=P.M, event_id=0, tag="conv"),
+        CubeMatmul(a=l0a, b=l0b, c=l0c, tag="conv"),
+        SetFlag(src_pipe=P.M, dst_pipe=P.V, event_id=0, tag="conv"),
+        WaitFlag(src_pipe=P.M, dst_pipe=P.V, event_id=0, tag="conv"),
+        VectorInstr(op=VectorOpcode.CAST, dst=ub, srcs=(l0c,), tag="conv"),
+    ]
+    if activation is not None:
+        instrs.append(VectorInstr(op=_ACTIVATION_OPS[activation], dst=ub,
+                                  srcs=(ub,), tag="conv"))
+    instrs += [
+        SetFlag(src_pipe=P.V, dst_pipe=P.MTE3, event_id=0, tag="conv"),
+        WaitFlag(src_pipe=P.V, dst_pipe=P.MTE3, event_id=0, tag="conv"),
+        CopyInstr(dst=gm_out, src=ub, tag="conv"),
+    ]
+    program = Program(instrs, name="conv2d_small")
+    core.memory.write(gm_img, image.astype(dtype.np_dtype))
+    core.memory.write(gm_wt, weights.reshape(k, n).astype(dtype.np_dtype))
+    result = core.run(program)
+    out = core.memory.read(gm_out).reshape(oh, ow, cout)
+    return out, result
+
+
+def _aligned(nbytes: float, alignment: int = 64) -> int:
+    return -(-int(nbytes) // alignment) * alignment

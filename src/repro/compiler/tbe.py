@@ -1,0 +1,265 @@
+"""TBE DSL — the Level-3 "mathematical programming" model (Section 5.1).
+
+Users with no hardware knowledge write tensor expressions; the compiler
+generates the instruction-level "Tasks" automatically:
+
+    x = TbeExpr.placeholder("x", (4096,))
+    y = ((x * 2.0) + 1.0).relu()
+    prog = tbe_compute(y, config)          # -> Program
+    # or, end to end:
+    out = TbeProgram(y, config).run(core, {"x": data})
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config.core_configs import CoreConfig
+from ..core.core import AscendCore
+from ..dtypes import DType, FP16
+from ..errors import CompileError
+from ..isa.instructions import (
+    CopyInstr,
+    SetFlag,
+    VectorInstr,
+    VectorOpcode,
+    WaitFlag,
+)
+from ..isa.memref import MemSpace, Region
+from ..isa.pipes import Pipe
+from ..isa.program import Program
+
+__all__ = ["TbeExpr", "TbeProgram", "tbe_compute"]
+
+_UNARY = {
+    "relu": VectorOpcode.RELU,
+    "exp": VectorOpcode.EXP,
+    "log": VectorOpcode.LOG,
+    "sqrt": VectorOpcode.SQRT,
+    "rsqrt": VectorOpcode.RSQRT,
+    "recip": VectorOpcode.RECIP,
+    "tanh": VectorOpcode.TANH,
+    "sigmoid": VectorOpcode.SIGMOID,
+    "gelu": VectorOpcode.GELU,
+    "abs": VectorOpcode.ABS,
+    "neg": VectorOpcode.NEG,
+}
+_BINARY = {
+    "add": VectorOpcode.ADD,
+    "sub": VectorOpcode.SUB,
+    "mul": VectorOpcode.MUL,
+    "div": VectorOpcode.DIV,
+    "max": VectorOpcode.MAX,
+    "min": VectorOpcode.MIN,
+}
+_SCALAR = {"adds": VectorOpcode.ADDS, "muls": VectorOpcode.MULS}
+
+
+@dataclass(frozen=True)
+class TbeExpr:
+    """A node of a tensor expression tree."""
+
+    kind: str  # "placeholder" | unary | binary | scalar op name
+    shape: Tuple[int, ...]
+    dtype: DType = FP16
+    name: str = ""
+    operands: Tuple["TbeExpr", ...] = ()
+    scalar: Optional[float] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def placeholder(name: str, shape: Tuple[int, ...],
+                    dtype: DType = FP16) -> "TbeExpr":
+        return TbeExpr(kind="placeholder", shape=tuple(shape), dtype=dtype,
+                       name=name)
+
+    def _binary(self, other, kind: str) -> "TbeExpr":
+        if isinstance(other, (int, float)):
+            scalar_kind = "adds" if kind in ("add", "sub") else "muls"
+            value = float(other)
+            if kind == "sub":
+                value = -value
+            if kind == "div":
+                value = 1.0 / value
+            if kind in ("max", "min"):
+                raise CompileError("max/min with a scalar is not supported")
+            return TbeExpr(kind=scalar_kind, shape=self.shape, dtype=self.dtype,
+                           operands=(self,), scalar=value)
+        if not isinstance(other, TbeExpr):
+            raise CompileError(f"cannot combine TbeExpr with {type(other).__name__}")
+        if other.shape != self.shape:
+            raise CompileError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return TbeExpr(kind=kind, shape=self.shape, dtype=self.dtype,
+                       operands=(self, other))
+
+    def __add__(self, other):
+        return self._binary(other, "add")
+
+    def __sub__(self, other):
+        return self._binary(other, "sub")
+
+    def __mul__(self, other):
+        return self._binary(other, "mul")
+
+    def __truediv__(self, other):
+        return self._binary(other, "div")
+
+    def _unary(self, kind: str) -> "TbeExpr":
+        return TbeExpr(kind=kind, shape=self.shape, dtype=self.dtype,
+                       operands=(self,))
+
+    def relu(self):
+        return self._unary("relu")
+
+    def exp(self):
+        return self._unary("exp")
+
+    def log(self):
+        return self._unary("log")
+
+    def sqrt(self):
+        return self._unary("sqrt")
+
+    def rsqrt(self):
+        return self._unary("rsqrt")
+
+    def tanh(self):
+        return self._unary("tanh")
+
+    def sigmoid(self):
+        return self._unary("sigmoid")
+
+    def gelu(self):
+        return self._unary("gelu")
+
+    def maximum(self, other):
+        return self._binary(other, "max")
+
+    def minimum(self, other):
+        return self._binary(other, "min")
+
+    # -- traversal ------------------------------------------------------------
+
+    def placeholders(self) -> List["TbeExpr"]:
+        seen: Dict[str, TbeExpr] = {}
+        self._collect_placeholders(seen)
+        return list(seen.values())
+
+    def _collect_placeholders(self, seen: Dict[str, "TbeExpr"]) -> None:
+        if self.kind == "placeholder":
+            seen.setdefault(self.name, self)
+            return
+        for operand in self.operands:
+            operand._collect_placeholders(seen)
+
+    def topo_order(self) -> List["TbeExpr"]:
+        order: List[TbeExpr] = []
+        visited: set = set()
+
+        def visit(node: "TbeExpr") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for operand in node.operands:
+                visit(operand)
+            order.append(node)
+
+        visit(self)
+        return order
+
+
+def tbe_compute(expr: TbeExpr, config: CoreConfig,
+                out_offset: int = 0,
+                feeds_offsets: Optional[Dict[str, int]] = None,
+                tag: str = "tbe") -> Program:
+    """Compile an expression tree to a vector program.
+
+    Placeholders stream GM -> UB; every node gets a UB slot; the root
+    streams back to GM at ``out_offset``.  The tensor (times live nodes)
+    must fit UB — the Level-3 model targets operator-sized tensors, and
+    larger ones belong to the tiled lowering.
+    """
+    order = expr.topo_order()
+    elems = expr.shape and math.prod(expr.shape)
+    nbytes = int(elems * expr.dtype.bytes)
+    if nbytes * len(order) > config.ub_bytes:
+        raise CompileError(
+            f"expression needs {nbytes * len(order)} B of UB, core has "
+            f"{config.ub_bytes}; tile the tensor before TBE"
+        )
+    feeds_offsets = feeds_offsets or {}
+    ub_of: Dict[int, Region] = {}
+    instrs = []
+    flat = (elems,)
+    next_gm_default = 0
+    for i, node in enumerate(order):
+        ub = Region(MemSpace.UB, i * nbytes, flat, node.dtype)
+        ub_of[id(node)] = ub
+        if node.kind == "placeholder":
+            offset = feeds_offsets.get(node.name, next_gm_default)
+            if node.name not in feeds_offsets:
+                next_gm_default += nbytes
+            instrs.append(CopyInstr(dst=ub, src=Region(MemSpace.GM, offset, flat,
+                                                       node.dtype), tag=tag))
+    instrs.append(SetFlag(src_pipe=Pipe.MTE2, dst_pipe=Pipe.V, event_id=0, tag=tag))
+    instrs.append(WaitFlag(src_pipe=Pipe.MTE2, dst_pipe=Pipe.V, event_id=0, tag=tag))
+    for node in order:
+        if node.kind == "placeholder":
+            continue
+        dst = ub_of[id(node)]
+        srcs = tuple(ub_of[id(op)] for op in node.operands)
+        if node.kind in _UNARY:
+            instrs.append(VectorInstr(op=_UNARY[node.kind], dst=dst, srcs=srcs,
+                                      tag=tag))
+        elif node.kind in _BINARY:
+            instrs.append(VectorInstr(op=_BINARY[node.kind], dst=dst, srcs=srcs,
+                                      tag=tag))
+        elif node.kind in _SCALAR:
+            instrs.append(VectorInstr(op=_SCALAR[node.kind], dst=dst, srcs=srcs,
+                                      scalar=node.scalar, tag=tag))
+        else:  # pragma: no cover - construction prevents this
+            raise CompileError(f"unknown TBE node kind {node.kind!r}")
+    instrs.append(SetFlag(src_pipe=Pipe.V, dst_pipe=Pipe.MTE3, event_id=0, tag=tag))
+    instrs.append(WaitFlag(src_pipe=Pipe.V, dst_pipe=Pipe.MTE3, event_id=0, tag=tag))
+    instrs.append(CopyInstr(dst=Region(MemSpace.GM, out_offset, flat, expr.dtype),
+                            src=ub_of[id(expr)], tag=tag))
+    return Program(instrs, name=f"tbe_{tag}")
+
+
+class TbeProgram:
+    """A compiled TBE expression, runnable end-to-end on a core."""
+
+    def __init__(self, expr: TbeExpr, config: CoreConfig) -> None:
+        self.expr = expr
+        self.config = config
+        self._placeholders = expr.placeholders()
+        nbytes = int(math.prod(expr.shape) * expr.dtype.bytes)
+        self._feed_offsets = {
+            p.name: i * _aligned(nbytes) for i, p in enumerate(self._placeholders)
+        }
+        self._out_offset = len(self._placeholders) * _aligned(nbytes)
+        self.program = tbe_compute(expr, config, out_offset=self._out_offset,
+                                   feeds_offsets=self._feed_offsets)
+
+    def run(self, core: AscendCore, feeds: Dict[str, np.ndarray]) -> np.ndarray:
+        missing = {p.name for p in self._placeholders} - set(feeds)
+        if missing:
+            raise CompileError(f"missing feeds: {sorted(missing)}")
+        flat = (math.prod(self.expr.shape),)
+        for p in self._placeholders:
+            region = Region(MemSpace.GM, self._feed_offsets[p.name], flat, p.dtype)
+            core.memory.write(region, np.asarray(feeds[p.name]).reshape(flat))
+        core.run(self.program)
+        out = core.memory.read(
+            Region(MemSpace.GM, self._out_offset, flat, self.expr.dtype)
+        )
+        return out.reshape(self.expr.shape)
+
+
+def _aligned(nbytes: int, alignment: int = 64) -> int:
+    return -(-nbytes // alignment) * alignment

@@ -1,0 +1,133 @@
+"""TIK — the Level-2 parallel/kernel programming model (Section 5.1).
+
+"Similar to CUDA or OpenCL for a GPU": the programmer manages buffers and
+data movement explicitly in Python, and the kernel object assembles a
+legal Program (allocators enforce capacities, sync helpers keep flags
+balanced).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..config.core_configs import CoreConfig
+from ..dtypes import DType, accumulator_for
+from ..errors import CompileError
+from ..isa.instructions import (
+    CopyInstr,
+    CubeMatmul,
+    SetFlag,
+    VectorInstr,
+    VectorOpcode,
+    WaitFlag,
+)
+from ..isa.memref import MemSpace, Region
+from ..isa.pipes import Pipe
+from ..isa.program import Program
+from ..memory.allocator import BumpAllocator
+
+__all__ = ["TikKernel"]
+
+_SPACE_CAPACITY = {
+    MemSpace.L0A: "l0a_bytes",
+    MemSpace.L0B: "l0b_bytes",
+    MemSpace.L0C: "l0c_bytes",
+    MemSpace.L1: "l1_bytes",
+    MemSpace.UB: "ub_bytes",
+}
+
+
+class TikKernel:
+    """An explicitly-programmed kernel for one core design point.
+
+    Typical usage::
+
+        kern = TikKernel("axpy", config)
+        x = kern.alloc(MemSpace.UB, (1024,), FP16)
+        kern.data_move(x, kern.gm((1024,), FP16, offset=0))
+        kern.vec(VectorOpcode.MULS, x, x, scalar=2.0)
+        kern.data_move(kern.gm((1024,), FP16, offset=4096), x)
+        program = kern.build()
+    """
+
+    def __init__(self, name: str, config: CoreConfig) -> None:
+        self.name = name
+        self.config = config
+        self._instrs = []
+        self._allocators: Dict[MemSpace, BumpAllocator] = {
+            space: BumpAllocator(getattr(config, attr))
+            for space, attr in _SPACE_CAPACITY.items()
+        }
+        self._pending_sets: Dict[Tuple[Pipe, Pipe, int], int] = {}
+
+    # -- buffers --------------------------------------------------------------
+
+    def alloc(self, space: MemSpace, shape: Tuple[int, ...],
+              dtype: DType) -> Region:
+        """Allocate a scratchpad region (capacity-checked)."""
+        if space is MemSpace.GM:
+            raise CompileError("use gm() for global-memory regions")
+        probe = Region(space, 0, shape, dtype)
+        offset = self._allocators[space].alloc(probe.nbytes)
+        return Region(space, offset, shape, dtype)
+
+    def gm(self, shape: Tuple[int, ...], dtype: DType, offset: int,
+           pitch: Optional[int] = None) -> Region:
+        """Reference a caller-managed global-memory region."""
+        return Region(MemSpace.GM, offset, shape, dtype, pitch=pitch)
+
+    # -- instruction emission ---------------------------------------------------
+
+    def data_move(self, dst: Region, src: Region, tag: str = "") -> None:
+        self._instrs.append(CopyInstr(dst=dst, src=src, tag=tag or self.name))
+
+    def matmul(self, c: Region, a: Region, b: Region,
+               accumulate: bool = False, tag: str = "") -> None:
+        self._instrs.append(CubeMatmul(a=a, b=b, c=c, accumulate=accumulate,
+                                       tag=tag or self.name))
+
+    def vec(self, op: VectorOpcode, dst: Region, *srcs: Region,
+            scalar: Optional[float] = None, tag: str = "") -> None:
+        self._instrs.append(VectorInstr(op=op, dst=dst, srcs=srcs,
+                                        scalar=scalar, tag=tag or self.name))
+
+    def sync(self, src: Pipe, dst: Pipe, event_id: int = 0) -> None:
+        """Emit a matched set/wait pair: everything issued to ``src`` so
+        far happens-before anything issued to ``dst`` afterwards."""
+        self._instrs.append(SetFlag(src_pipe=src, dst_pipe=dst,
+                                    event_id=event_id, tag=self.name))
+        self._instrs.append(WaitFlag(src_pipe=src, dst_pipe=dst,
+                                     event_id=event_id, tag=self.name))
+
+    def set_flag(self, src: Pipe, dst: Pipe, event_id: int = 0) -> None:
+        self._pending_sets[(src, dst, event_id)] = (
+            self._pending_sets.get((src, dst, event_id), 0) + 1
+        )
+        self._instrs.append(SetFlag(src_pipe=src, dst_pipe=dst,
+                                    event_id=event_id, tag=self.name))
+
+    def wait_flag(self, src: Pipe, dst: Pipe, event_id: int = 0) -> None:
+        key = (src, dst, event_id)
+        if self._pending_sets.get(key, 0) <= 0:
+            raise CompileError(
+                f"wait_flag {src}->{dst} event {event_id} has no prior set_flag"
+            )
+        self._pending_sets[key] -= 1
+        self._instrs.append(WaitFlag(src_pipe=src, dst_pipe=dst,
+                                     event_id=event_id, tag=self.name))
+
+    def for_range(self, extent: int):
+        """Loop helper mirroring TIK's ``for_range`` (explicit unrolling —
+        the hardware executes straight-line tile code)."""
+        if extent <= 0:
+            raise CompileError(f"for_range extent must be positive, got {extent}")
+        return range(extent)
+
+    def build(self) -> Program:
+        """Finalize and statically validate the kernel."""
+        leftovers = {k: v for k, v in self._pending_sets.items() if v}
+        if leftovers:
+            raise CompileError(f"unbalanced set_flags at build: {leftovers}")
+        program = Program(list(self._instrs), name=self.name)
+        program.validate(self.config)
+        return program

@@ -1,0 +1,198 @@
+"""Auto-tiling: choose GEMM tile shapes for a core design point.
+
+Section 5.1: «The dedicated compiler technique, called "Auto Tiling", is
+used to transfer big tasks into small fractals to adapt to Ascend
+architecture ... this technology offers the best tiling and scheduling
+for any program by intelligently searching legitimate mapping space.»
+
+The shipped compiler guides that search with reinforcement learning; this
+reproduction enumerates the legitimate mapping space directly and scores
+each candidate with the same cycle model the simulator uses (exhaustive
+search is tractable because the space, quantized to cube-native multiples,
+is a few hundred points).  See DESIGN.md substitutions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, List, Optional, Tuple
+
+from ..config.core_configs import CoreConfig
+from ..dtypes import DType, FP16, accumulator_for
+from ..errors import CompileError
+from ..memory.bandwidth import DatapathModel, Route
+
+__all__ = ["Tiling", "legal_tilings", "choose_tiling", "estimate_gemm_cycles"]
+
+_DOUBLE_BUFFER = 2
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """A two-level GEMM mapping.
+
+    (tm, tk, tn) is the L0 tile one CubeMatmul instruction covers;
+    k_stage is how much of K is staged in L1 per MTE2 transfer.
+    """
+
+    tm: int
+    tk: int
+    tn: int
+    k_stage: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tiling({self.tm}x{self.tk}x{self.tn}, k_stage={self.k_stage})"
+
+
+def _fits(tiling: Tiling, config: CoreConfig, dtype: DType) -> bool:
+    acc = accumulator_for(dtype)
+    a0 = tiling.tm * tiling.tk * dtype.bytes * _DOUBLE_BUFFER
+    b0 = tiling.tk * tiling.tn * dtype.bytes * _DOUBLE_BUFFER
+    c0 = tiling.tm * tiling.tn * acc.bytes * _DOUBLE_BUFFER
+    l1 = (
+        (tiling.tm * tiling.k_stage + tiling.k_stage * tiling.tn)
+        * dtype.bytes
+        * _DOUBLE_BUFFER
+    )
+    ub = tiling.tm * tiling.tn * acc.bytes * _DOUBLE_BUFFER
+    return (
+        a0 <= config.l0a_bytes
+        and b0 <= config.l0b_bytes
+        and c0 <= config.l0c_bytes
+        and l1 <= config.l1_bytes
+        and ub <= config.ub_bytes
+    )
+
+
+def legal_tilings(m: int, k: int, n: int, config: CoreConfig,
+                  dtype: DType = FP16) -> List[Tiling]:
+    """Enumerate the legitimate mapping space for an M x K x N GEMM.
+
+    Candidates are multiples of the native cube shape, clipped to the
+    problem size, subject to the double-buffered capacity constraints.
+    """
+    from ..core.costs import CostModel
+
+    m0, k0, n0 = CostModel(config).cube_tile_shape(dtype)
+    tilings: List[Tiling] = []
+    for tm in _candidates(m, m0):
+        for tk in _candidates(k, k0):
+            for tn in _candidates(n, n0):
+                for ks_mult in (1, 2, 4, 8):
+                    k_stage = min(k, tk * ks_mult)
+                    tiling = Tiling(tm, tk, tn, k_stage)
+                    if k_stage % tk and k_stage != k:
+                        continue
+                    if _fits(tiling, config, dtype):
+                        tilings.append(tiling)
+    if not tilings:
+        raise CompileError(
+            f"no legal tiling for {m}x{k}x{n} {dtype} on {config.name}"
+        )
+    # Deduplicate (k_stage clipping can repeat entries).
+    return sorted(set(tilings), key=lambda t: (t.tm, t.tk, t.tn, t.k_stage))
+
+
+def _candidates(dim: int, base: int) -> List[int]:
+    """Tile-size candidates: powers-of-two multiples of the native dim."""
+    out = []
+    mult = 1
+    while True:
+        size = base * mult
+        if size >= dim:
+            out.append(_round_up(dim, base) if dim > base else base)
+            break
+        out.append(size)
+        mult *= 2
+    return sorted(set(out))
+
+
+def _round_up(value: int, base: int) -> int:
+    return -(-value // base) * base
+
+
+def estimate_gemm_cycles(m: int, k: int, n: int, tiling: Tiling,
+                         config: CoreConfig, dtype: DType = FP16) -> float:
+    """Analytic cycle estimate for one GEMM under a tiling.
+
+    Models the pipelined execution as max(per-pipe busy time) plus one
+    pipeline fill; the same structure the event engine produces, without
+    emitting instructions.  Used to rank tilings.
+    """
+    from ..core.costs import CostModel
+
+    costs = CostModel(config)
+    datapath = costs.datapath
+    acc = accumulator_for(dtype)
+    ov = DatapathModel.TRANSFER_OVERHEAD_CYCLES
+
+    out_tiles_m = math.ceil(m / tiling.tm)
+    out_tiles_n = math.ceil(n / tiling.tn)
+    out_tiles = out_tiles_m * out_tiles_n
+    k_stages = math.ceil(k / tiling.k_stage)
+    k_feeds = math.ceil(k / tiling.tk)
+
+    # Cube: one instruction per (output tile, k feed).
+    cube = out_tiles * k_feeds * costs.cube_cycles(tiling.tm, tiling.tk,
+                                                   tiling.tn, dtype)
+    # MTE2: per (output tile, k stage) load A strip + B panel from GM.
+    a_stage = tiling.tm * tiling.k_stage * dtype.bytes
+    b_stage = tiling.k_stage * tiling.tn * dtype.bytes
+    gm_bw = datapath.bytes_per_cycle(Route.GM_PORT)
+    mte2 = out_tiles * k_stages * ((a_stage + b_stage) / gm_bw + 2 * ov)
+    # MTE1: per (output tile, k feed) move A and B tiles into L0.
+    a_feed = tiling.tm * tiling.tk * dtype.bytes
+    b_feed = tiling.tk * tiling.tn * dtype.bytes
+    mte1 = out_tiles * k_feeds * (
+        a_feed / datapath.bytes_per_cycle(Route.L1_TO_L0A)
+        + b_feed / datapath.bytes_per_cycle(Route.L1_TO_L0B)
+        + 2 * ov
+    )
+    # Vector: move each output tile L0C -> UB.
+    out_bytes = tiling.tm * tiling.tn * acc.bytes
+    vec = out_tiles * (out_bytes / config.vector_width_bytes + 2)
+    # MTE3: store each output tile.
+    mte3 = out_tiles * (out_bytes / datapath.bytes_per_cycle(Route.UB_PORT) + ov)
+
+    fill = (a_stage + b_stage) / gm_bw + a_feed / datapath.bytes_per_cycle(
+        Route.L1_TO_L0A
+    )
+    return max(cube, mte1, mte2, vec, mte3) + fill
+
+
+def _search(m: int, k: int, n: int, config: CoreConfig,
+            dtype: DType) -> Tiling:
+    best: Optional[Tiling] = None
+    best_cost = math.inf
+    for tiling in legal_tilings(m, k, n, config, dtype):
+        cost = estimate_gemm_cycles(m, k, n, tiling, config, dtype)
+        if cost < best_cost:
+            best, best_cost = tiling, cost
+    assert best is not None  # legal_tilings raises when empty
+    return best
+
+
+@lru_cache(maxsize=4096)
+def _choose_cached(m: int, k: int, n: int, config_name: str,
+                   dtype_name: str) -> Tiling:
+    from ..config.core_configs import core_config_by_name
+    from ..dtypes import dtype_by_name
+
+    return _search(m, k, n, core_config_by_name(config_name),
+                   dtype_by_name(dtype_name))
+
+
+def choose_tiling(m: int, k: int, n: int, config: CoreConfig,
+                  dtype: DType = FP16) -> Tiling:
+    """Pick the lowest-modeled-cycles tiling.
+
+    Registered design points cache by name; ad-hoc configs (ablation
+    variants) search directly.
+    """
+    from ..config.core_configs import CORE_CONFIGS
+
+    if CORE_CONFIGS.get(config.name) is config:
+        return _choose_cached(m, k, n, config.name, dtype.name)
+    return _search(m, k, n, config, dtype)

@@ -1,0 +1,52 @@
+"""Architecture configuration: core design points, SoC integrations, process tech.
+
+The numbers here are the paper's published parameters (Tables 3-5, Sections
+3.1-3.3) plus a small set of buffer capacities taken from public DaVinci
+documentation where the paper is silent.
+"""
+
+from .core_configs import (
+    CoreConfig,
+    CubeShape,
+    ASCEND_MAX,
+    ASCEND,
+    ASCEND_MINI,
+    ASCEND_LITE,
+    ASCEND_TINY,
+    CORE_CONFIGS,
+    core_config_by_name,
+)
+from .soc_configs import (
+    SocConfig,
+    ASCEND_910,
+    ASCEND_610,
+    ASCEND_310,
+    KIRIN_990_5G,
+    SOC_CONFIGS,
+    soc_config_by_name,
+)
+from .tech import TechModel, TECH_7NM, TECH_12NM, TECH_16NM, tech_by_node
+
+__all__ = [
+    "CoreConfig",
+    "CubeShape",
+    "ASCEND_MAX",
+    "ASCEND",
+    "ASCEND_MINI",
+    "ASCEND_LITE",
+    "ASCEND_TINY",
+    "CORE_CONFIGS",
+    "core_config_by_name",
+    "SocConfig",
+    "ASCEND_910",
+    "ASCEND_610",
+    "ASCEND_310",
+    "KIRIN_990_5G",
+    "SOC_CONFIGS",
+    "soc_config_by_name",
+    "TechModel",
+    "TECH_7NM",
+    "TECH_12NM",
+    "TECH_16NM",
+    "tech_by_node",
+]

@@ -1,0 +1,106 @@
+"""Instruction cycle-cost model, parameterized by a core design point.
+
+Cost anchors (Section 2.1 / Table 5):
+
+* the cube retires one native m0 x k0 x n0 tile-MAC per cycle when fed;
+  int8 doubles and int4 quadruples the k dimension on fp16 cores
+  ("can extend to 16x32x16 with int8 precision");
+* the vector unit processes ``vector_width_bytes`` per cycle per pass,
+  with transcendentals costing multiple passes;
+* MTE moves are bounded by the Table 5 bus widths (see
+  :class:`~repro.memory.bandwidth.DatapathModel`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config.core_configs import CoreConfig
+from ..errors import IsaError
+from ..isa.instructions import (
+    CopyInstr,
+    CubeMatmul,
+    DecompressInstr,
+    Img2ColInstr,
+    Instruction,
+    PipeBarrier,
+    ScalarInstr,
+    SetFlag,
+    TransposeInstr,
+    VectorInstr,
+    VectorOpcode,
+    WaitFlag,
+)
+from ..isa.memref import MemSpace
+from ..memory.bandwidth import DatapathModel
+
+__all__ = ["CostModel"]
+
+_CUBE_STARTUP = 4
+_VEC_STARTUP = 2
+_FLAG_COST = 1
+
+
+class CostModel:
+    """Maps instructions to cycle costs for one :class:`CoreConfig`."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.datapath = DatapathModel(config)
+
+    # -- cube -----------------------------------------------------------------
+
+    def cube_tile_shape(self, dtype) -> tuple:
+        """Native cube (m0, k0, n0) for a source dtype on this core.
+
+        The k dimension scales with precision on fp16-baseline cubes:
+        int8 doubles it, int4 quadruples it, and fp32 (the Section 7.2
+        extension) halves it.
+        """
+        if not self.config.supports_dtype(dtype):
+            raise IsaError(f"{self.config.name} cube does not support {dtype}")
+        shape = self.config.cube
+        k_scale = 1.0
+        if self.config.cube_dtypes[0].name == "fp16":
+            k_scale = {"int8": 2.0, "int4": 4.0, "fp32": 0.5}.get(
+                dtype.name, 1.0)
+        return (shape.m, max(1, int(shape.k * k_scale)), shape.n)
+
+    def cube_cycles(self, m: int, k: int, n: int, dtype) -> int:
+        m0, k0, n0 = self.cube_tile_shape(dtype)
+        tiles = math.ceil(m / m0) * math.ceil(k / k0) * math.ceil(n / n0)
+        return _CUBE_STARTUP + tiles
+
+    # -- vector ---------------------------------------------------------------
+
+    def vector_cycles(self, elems: int, elem_bytes: float, passes: int = 1) -> int:
+        per_pass = math.ceil(elems * elem_bytes / self.config.vector_width_bytes)
+        return _VEC_STARTUP + per_pass * passes
+
+    # -- dispatch -------------------------------------------------------------
+
+    def cost(self, instr: Instruction) -> int:
+        """Cycles the instruction occupies its pipe."""
+        if isinstance(instr, CubeMatmul):
+            return self.cube_cycles(instr.m, instr.k, instr.n, instr.a.dtype)
+        if isinstance(instr, VectorInstr):
+            elem_bytes = (instr.srcs[0].dtype if instr.srcs else instr.dst.dtype).bytes
+            if instr.op in (VectorOpcode.COPY, VectorOpcode.CAST) and (
+                instr.dst.space is MemSpace.L0C
+                or any(s.space is MemSpace.L0C for s in instr.srcs)
+            ):
+                # Moving cube results L0C <-> UB rides the wide UB port
+                # (Table 5's UB bus), not the vector ALU datapath.
+                nbytes = instr.elems * elem_bytes
+                return _VEC_STARTUP + math.ceil(
+                    nbytes / self.config.ub_bytes_per_cycle
+                )
+            return self.vector_cycles(instr.elems, elem_bytes, instr.op.passes)
+        if isinstance(instr, (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)):
+            src, dst = instr.src.space, instr.dst.space
+            return self.datapath.cycles_for(src, dst, instr.nbytes)
+        if isinstance(instr, ScalarInstr):
+            return instr.cycles
+        if isinstance(instr, (SetFlag, WaitFlag, PipeBarrier)):
+            return _FLAG_COST
+        raise IsaError(f"no cost model for {type(instr).__name__}")

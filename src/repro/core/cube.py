@@ -1,0 +1,30 @@
+"""Functional model of the 3D cube computing unit (Section 2.1).
+
+The cube consumes an A tile from L0A and a B tile from L0B and produces
+(or accumulates into) a C tile in L0C.  Sources are fp16/int8/int4;
+accumulation is fp32/int32 — the mixed-precision contract the paper
+adopts from Micikevicius et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CubeMatmul
+from ..memory.hierarchy import CoreMemory
+
+__all__ = ["execute_cube"]
+
+
+def execute_cube(instr: CubeMatmul, memory: CoreMemory) -> None:
+    """Run one cube matmul against the scratchpads."""
+    a = memory.read(instr.a)
+    b = memory.read(instr.b)
+    if instr.a.dtype.is_float:
+        # fp16 multiplies with fp32 accumulation: promote before the dot.
+        product = a.astype(np.float32) @ b.astype(np.float32)
+    else:
+        product = a.astype(np.int32) @ b.astype(np.int32)
+    if instr.accumulate:
+        product = memory.read(instr.c) + product
+    memory.write(instr.c, product.astype(instr.c.dtype.np_dtype))

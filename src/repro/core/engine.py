@@ -1,0 +1,81 @@
+"""Event-driven timing engine for the multi-queue execution model.
+
+Figure 3 semantics: the PSQ dispatches instructions *in program order* into
+per-pipe in-order queues; pipes run concurrently; a ``wait_flag`` stalls
+its pipe until the matching ``set_flag`` retires on the producer pipe.
+
+The engine advances each pipe's head instruction whenever it is runnable,
+iterating to a fixpoint.  A program whose waits can never be satisfied
+raises :class:`~repro.errors.DeadlockError` — the same programs hang real
+silicon, so surfacing them loudly is a feature.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from ..errors import DeadlockError
+from ..isa.instructions import Instruction, SetFlag, WaitFlag
+from ..isa.pipes import Pipe
+from ..isa.program import Program
+from .costs import CostModel
+from .trace import ExecutionTrace, TraceEvent
+
+__all__ = ["schedule"]
+
+# The PSQ dispatches a bounded number of instructions per cycle; with
+# tile-granular instructions this is essentially never the bottleneck,
+# but modeling it keeps pathological fine-grained programs honest.
+_DISPATCH_PER_CYCLE = 4
+
+_Channel = Tuple[Pipe, Pipe, int]
+
+
+def schedule(program: Program, costs: CostModel) -> ExecutionTrace:
+    """Compute start/end cycles for every instruction in ``program``."""
+    queues: Dict[Pipe, Deque[Tuple[int, Instruction]]] = {p: deque() for p in Pipe}
+    for index, instr in enumerate(program):
+        queues[instr.pipe].append((index, instr))
+
+    pipe_time: Dict[Pipe, int] = {p: 0 for p in Pipe}
+    # Completed set_flag times waiting to be consumed, FIFO per channel.
+    flags: Dict[_Channel, Deque[int]] = {}
+    events: List[TraceEvent] = []
+
+    remaining = len(program)
+    while remaining:
+        progress = False
+        for pipe in Pipe:
+            queue = queues[pipe]
+            while queue:
+                index, instr = queue[0]
+                dispatch_ready = index // _DISPATCH_PER_CYCLE
+                start = max(pipe_time[pipe], dispatch_ready)
+                if isinstance(instr, WaitFlag):
+                    channel = (instr.src_pipe, instr.dst_pipe, instr.event_id)
+                    pending = flags.get(channel)
+                    if not pending:
+                        break  # stalled: producer has not signalled yet
+                    start = max(start, pending.popleft())
+                end = start + costs.cost(instr)
+                if isinstance(instr, SetFlag):
+                    channel = (instr.src_pipe, instr.dst_pipe, instr.event_id)
+                    flags.setdefault(channel, deque()).append(end)
+                pipe_time[pipe] = end
+                events.append(TraceEvent(index, instr, pipe, start, end))
+                queue.popleft()
+                remaining -= 1
+                progress = True
+        if not progress:
+            stuck = {
+                str(pipe): f"#{queue[0][0]} {type(queue[0][1]).__name__}"
+                for pipe, queue in queues.items()
+                if queue
+            }
+            raise DeadlockError(
+                f"no runnable instruction; stalled pipe heads: {stuck}"
+            )
+
+    events.sort(key=lambda e: (e.start, e.end, e.index))
+    return ExecutionTrace(events=events)

@@ -1,0 +1,69 @@
+"""Functional model of the Memory Transfer Engine (Section 2.2).
+
+Four behaviours: plain copies along the legal datapath routes, *img2col*
+(convolution-to-GEMM expansion), *trans* (matrix transpose on the way
+into L0), and *decomp* (zero-value decompression of sparse data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IsaError
+from ..isa.instructions import (
+    CopyInstr,
+    DecompressInstr,
+    Img2ColInstr,
+    TransposeInstr,
+)
+from ..memory.hierarchy import CoreMemory
+from ..memory.zvc import zvc_decompress
+
+__all__ = ["execute_copy", "execute_img2col", "execute_transpose", "execute_decompress", "im2col_array"]
+
+
+def execute_copy(instr: CopyInstr, memory: CoreMemory) -> None:
+    values = memory.read(instr.src)
+    if instr.dst.dtype is not instr.src.dtype:
+        raise IsaError("CopyInstr cannot convert dtypes; use a vector CAST")
+    memory.write(instr.dst, values.reshape(instr.dst.shape))
+
+
+def im2col_array(image: np.ndarray, kernel, stride, padding) -> np.ndarray:
+    """Reference im2col on an (H, W, C) array -> (oh*ow, kh*kw*C).
+
+    Column order is (kh, kw, c) fastest-to-slowest consistent with the
+    weight layout the compiler emits, so ``im2col(A) @ W`` equals the
+    direct convolution.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    h, w, c = image.shape
+    padded = np.pad(image, ((ph, ph), (pw, pw), (0, 0)))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    out = np.empty((oh * ow, kh * kw * c), dtype=image.dtype)
+    row = 0
+    for i in range(oh):
+        for j in range(ow):
+            patch = padded[i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+            out[row] = patch.reshape(-1)
+            row += 1
+    return out
+
+
+def execute_img2col(instr: Img2ColInstr, memory: CoreMemory) -> None:
+    image = memory.read(instr.src)
+    matrix = im2col_array(image, instr.kernel, instr.stride, instr.padding)
+    memory.write(instr.dst, matrix)
+
+
+def execute_transpose(instr: TransposeInstr, memory: CoreMemory) -> None:
+    memory.write(instr.dst, memory.read(instr.src).T)
+
+
+def execute_decompress(instr: DecompressInstr, memory: CoreMemory) -> None:
+    stream = memory.read(instr.src).view(np.uint8).ravel()
+    dense = zvc_decompress(stream, instr.dst.shape, instr.dst.dtype.np_dtype)
+    memory.write(instr.dst, dense)

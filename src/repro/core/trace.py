@@ -1,0 +1,152 @@
+"""Execution traces: what ran where, when, and how many bytes it moved.
+
+The analysis harness consumes traces to reproduce the paper's per-layer
+figures: cube/vector busy-cycle ratios (Figures 4-8) and L1 bandwidth
+profiles (Figure 9).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..isa.instructions import (
+    CopyInstr,
+    DecompressInstr,
+    Img2ColInstr,
+    Instruction,
+    TransposeInstr,
+)
+from ..isa.memref import MemSpace
+from ..isa.pipes import Pipe
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+_MOVE_TYPES = (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instruction's occupancy of its pipe."""
+
+    index: int  # program order
+    instr: Instruction
+    pipe: Pipe
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    @property
+    def tag(self) -> str:
+        return self.instr.tag
+
+
+@dataclass
+class ExecutionTrace:
+    """All events of one program run, with aggregate queries."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return max((e.end for e in self.events), default=0)
+
+    def busy_cycles(self, pipe: Pipe, tag: Optional[str] = None) -> int:
+        """Sum of occupied cycles on a pipe (optionally for one tag).
+
+        Flag/barrier bookkeeping (1-cycle events with no payload) is
+        included; it is negligible against real work.
+        """
+        return sum(
+            e.cycles
+            for e in self.events
+            if e.pipe is pipe and (tag is None or e.tag == tag)
+        )
+
+    def utilization(self, pipe: Pipe) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.busy_cycles(pipe) / total
+
+    def tags(self) -> List[str]:
+        """Distinct non-empty tags in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for e in self.events:
+            if e.tag and e.tag not in seen:
+                seen[e.tag] = None
+        return list(seen)
+
+    def span(self, tag: str) -> Tuple[int, int]:
+        """(first start, last end) over events carrying ``tag``."""
+        starts = [e.start for e in self.events if e.tag == tag]
+        ends = [e.end for e in self.events if e.tag == tag]
+        if not starts:
+            return (0, 0)
+        return (min(starts), max(ends))
+
+    # -- bandwidth accounting -------------------------------------------------
+
+    def l1_traffic_bytes(self, tag: Optional[str] = None) -> Tuple[int, int]:
+        """(bytes read from L1, bytes written to L1) by data movement.
+
+        Reads: L1 -> L0A/L0B/UB feeds (MTE1).  Writes: inbound GM -> L1
+        (MTE2) and UB -> L1 write-backs (MTE3).  This is the quantity
+        Figure 9 profiles.
+        """
+        read = 0
+        written = 0
+        for e in self.events:
+            if tag is not None and e.tag != tag:
+                continue
+            instr = e.instr
+            if not isinstance(instr, _MOVE_TYPES):
+                continue
+            if instr.src.space is MemSpace.L1:
+                read += instr.src.nbytes
+            if instr.dst.space is MemSpace.L1:
+                written += instr.dst.nbytes
+        return read, written
+
+    def moved_bytes(self, src: MemSpace, dst: MemSpace,
+                    tag: Optional[str] = None) -> int:
+        """Bytes moved along one (src, dst) space pair."""
+        total = 0
+        for e in self.events:
+            if tag is not None and e.tag != tag:
+                continue
+            instr = e.instr
+            if isinstance(instr, _MOVE_TYPES):
+                if instr.src.space is src and instr.dst.space is dst:
+                    total += instr.src.nbytes if src is not MemSpace.GM else instr.dst.nbytes
+        return total
+
+    def gm_traffic_bytes(self, tag: Optional[str] = None) -> Tuple[int, int]:
+        """(bytes read from GM, bytes written to GM) — BIU/LLC traffic."""
+        read = 0
+        written = 0
+        for e in self.events:
+            if tag is not None and e.tag != tag:
+                continue
+            instr = e.instr
+            if not isinstance(instr, _MOVE_TYPES):
+                continue
+            if instr.src.space is MemSpace.GM:
+                read += instr.dst.nbytes
+            if instr.dst.space is MemSpace.GM:
+                written += instr.src.nbytes
+        return read, written
+
+    def per_tag_busy(self, pipe: Pipe) -> Dict[str, int]:
+        busy: Dict[str, int] = defaultdict(int)
+        for e in self.events:
+            if e.pipe is pipe and e.tag:
+                busy[e.tag] += e.cycles
+        return dict(busy)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        self.events.extend(events)

@@ -1,0 +1,140 @@
+"""Functional model of the vector computing unit (Section 2.1, Table 2).
+
+Covers normalization/activation arithmetic, precision conversion
+(quantize/dequantize/cast), reductions, backward-pass selects, and the
+automotive CV/SLAM extensions of Section 3.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import dequantize, quantize
+from ..errors import IsaError
+from ..isa.instructions import VectorInstr, VectorOpcode
+from ..memory.hierarchy import CoreMemory
+
+__all__ = ["execute_vector"]
+
+
+def _binary(op, a, b):
+    # Compute in fp32 to mirror the unit's internal precision, then let the
+    # destination write cast back down.
+    return op(a.astype(np.float32), b.astype(np.float32))
+
+
+def execute_vector(instr: VectorInstr, memory: CoreMemory) -> None:
+    """Run one vector instruction against the scratchpads."""
+    srcs = [memory.read(region) for region in instr.srcs]
+    op = instr.op
+    out: np.ndarray
+
+    if op is VectorOpcode.COPY:
+        out = srcs[0]
+    elif op is VectorOpcode.ADD:
+        out = _binary(np.add, srcs[0], srcs[1])
+    elif op is VectorOpcode.SUB:
+        out = _binary(np.subtract, srcs[0], srcs[1])
+    elif op is VectorOpcode.MUL:
+        out = _binary(np.multiply, srcs[0], srcs[1])
+    elif op is VectorOpcode.DIV:
+        out = _binary(np.divide, srcs[0], srcs[1])
+    elif op is VectorOpcode.MAX:
+        out = _binary(np.maximum, srcs[0], srcs[1])
+    elif op is VectorOpcode.MIN:
+        out = _binary(np.minimum, srcs[0], srcs[1])
+    elif op is VectorOpcode.ADDS:
+        out = srcs[0].astype(np.float32) + instr.scalar
+    elif op is VectorOpcode.MULS:
+        out = srcs[0].astype(np.float32) * instr.scalar
+    elif op is VectorOpcode.RELU:
+        out = np.maximum(srcs[0].astype(np.float32), 0.0)
+    elif op is VectorOpcode.ABS:
+        out = np.abs(srcs[0])
+    elif op is VectorOpcode.NEG:
+        out = -srcs[0].astype(np.float32)
+    elif op is VectorOpcode.EXP:
+        out = np.exp(srcs[0].astype(np.float32))
+    elif op is VectorOpcode.LOG:
+        out = np.log(srcs[0].astype(np.float32))
+    elif op is VectorOpcode.SQRT:
+        out = np.sqrt(srcs[0].astype(np.float32))
+    elif op is VectorOpcode.RSQRT:
+        out = 1.0 / np.sqrt(srcs[0].astype(np.float32))
+    elif op is VectorOpcode.RECIP:
+        out = 1.0 / srcs[0].astype(np.float32)
+    elif op is VectorOpcode.TANH:
+        out = np.tanh(srcs[0].astype(np.float32))
+    elif op is VectorOpcode.SIGMOID:
+        out = 1.0 / (1.0 + np.exp(-srcs[0].astype(np.float32)))
+    elif op is VectorOpcode.GELU:
+        x = srcs[0].astype(np.float32)
+        out = 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+    elif op is VectorOpcode.CAST:
+        out = srcs[0]
+    elif op is VectorOpcode.QUANTIZE:
+        zero_point = int(instr.params.get("zero_point", 0))
+        memory.write(
+            instr.dst, quantize(srcs[0], instr.dst.dtype, instr.scalar, zero_point)
+        )
+        return
+    elif op is VectorOpcode.DEQUANTIZE:
+        zero_point = int(instr.params.get("zero_point", 0))
+        memory.write(
+            instr.dst,
+            dequantize(srcs[0], instr.scalar, zero_point, instr.dst.dtype),
+        )
+        return
+    elif op is VectorOpcode.REDUCE_SUM:
+        out = _reduce(srcs[0], instr, np.sum)
+    elif op is VectorOpcode.REDUCE_MAX:
+        out = _reduce(srcs[0], instr, np.max)
+    elif op is VectorOpcode.SELECT_GE:
+        cond = srcs[0].astype(np.float32) >= 0
+        out = np.where(cond, srcs[1].astype(np.float32), srcs[2].astype(np.float32))
+    elif op is VectorOpcode.SORT:
+        out = np.sort(srcs[0].astype(np.float32).ravel())[::-1].reshape(instr.dst.shape)
+    elif op is VectorOpcode.QUATERNION_MUL:
+        out = _quaternion_mul(srcs[0], srcs[1])
+    elif op is VectorOpcode.CLUSTER_ASSIGN:
+        out = _cluster_assign(srcs[0], srcs[1], instr)
+    else:  # pragma: no cover - enum is closed
+        raise IsaError(f"unimplemented vector opcode {op}")
+
+    memory.write(instr.dst, out.astype(instr.dst.dtype.np_dtype).reshape(instr.dst.shape))
+
+
+def _reduce(src: np.ndarray, instr: VectorInstr, fn) -> np.ndarray:
+    """Reduce over the last axis (row-wise), the common NN reduction."""
+    if src.ndim == 1:
+        return np.asarray([fn(src.astype(np.float32))])
+    return fn(src.astype(np.float32), axis=-1).reshape(instr.dst.shape)
+
+
+def _quaternion_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamilton product over (..., 4) arrays — the SLAM quaternion op."""
+    a = a.astype(np.float32).reshape(-1, 4)
+    b = b.astype(np.float32).reshape(-1, 4)
+    w1, x1, y1, z1 = a.T
+    w2, x2, y2, z2 = b.T
+    return np.stack(
+        [
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        ],
+        axis=-1,
+    )
+
+
+def _cluster_assign(points: np.ndarray, centroids: np.ndarray,
+                    instr: VectorInstr) -> np.ndarray:
+    """Nearest-centroid assignment — the SLAM clustering instruction.
+
+    ``points`` is (n, d), ``centroids`` is (k, d); returns (n,) indices.
+    """
+    p = points.astype(np.float32).reshape(points.shape[0], -1)
+    c = centroids.astype(np.float32).reshape(centroids.shape[0], -1)
+    d2 = ((p[:, None, :] - c[None, :, :]) ** 2).sum(axis=-1)
+    return np.argmin(d2, axis=1).astype(np.float32)

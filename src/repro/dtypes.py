@@ -1,0 +1,132 @@
+"""Data types supported by the Ascend datapath.
+
+The paper's cube unit consumes fp16 sources and accumulates in fp32
+(Section 2.1, citing mixed-precision training), with int8 source / int32
+accumulate as a tailored mode (Ascend-Tiny) and int4 for automotive
+inference (Section 3.3).  numpy has no int4 storage type, so int4 values
+are *emulated*: stored in int8 arrays but range-checked to [-8, 7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = [
+    "DType",
+    "FP32",
+    "FP16",
+    "INT32",
+    "INT8",
+    "INT4",
+    "dtype_by_name",
+    "quantize",
+    "dequantize",
+    "cast",
+    "accumulator_for",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A datapath element type.
+
+    Attributes:
+        name: canonical short name, e.g. ``"fp16"``.
+        bits: storage width in bits (int4 is stored widened but *counts*
+            as 4 bits for all bandwidth and capacity accounting).
+        np_dtype: numpy dtype used for functional emulation.
+        is_float: floating-point vs integer datapath.
+    """
+
+    name: str
+    bits: int
+    np_dtype: np.dtype
+    is_float: bool
+
+    @property
+    def bytes(self) -> float:
+        """Storage size in bytes; fractional for sub-byte types (int4)."""
+        return self.bits / 8
+
+    @property
+    def min_value(self) -> float:
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).min)
+        if self.name == "int4":
+            return -8.0
+        return float(np.iinfo(self.np_dtype).min)
+
+    @property
+    def max_value(self) -> float:
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).max)
+        if self.name == "int4":
+            return 7.0
+        return float(np.iinfo(self.np_dtype).max)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP32 = DType("fp32", 32, np.dtype(np.float32), True)
+FP16 = DType("fp16", 16, np.dtype(np.float16), True)
+INT32 = DType("int32", 32, np.dtype(np.int32), False)
+INT8 = DType("int8", 8, np.dtype(np.int8), False)
+INT4 = DType("int4", 4, np.dtype(np.int8), False)
+
+_ALL = {d.name: d for d in (FP32, FP16, INT32, INT8, INT4)}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a :class:`DType` by its canonical name."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise ConfigError(f"unknown dtype {name!r}; known: {sorted(_ALL)}") from None
+
+
+def accumulator_for(source: DType) -> DType:
+    """Accumulator type the cube unit uses for a given source type.
+
+    fp16 accumulates into fp32 and int8/int4 into int32, per Section 2.1.
+    """
+    if source.is_float:
+        return FP32
+    return INT32
+
+
+def cast(array: np.ndarray, dtype: DType) -> np.ndarray:
+    """Cast an array to the numpy representation of ``dtype``.
+
+    Integer targets saturate (as hardware converters do) rather than wrap.
+    """
+    if dtype.is_float:
+        return array.astype(dtype.np_dtype)
+    clipped = np.clip(np.rint(array.astype(np.float64)), dtype.min_value, dtype.max_value)
+    return clipped.astype(dtype.np_dtype)
+
+
+def quantize(array: np.ndarray, dtype: DType, scale: float, zero_point: int = 0) -> np.ndarray:
+    """Affine-quantize a float array: ``q = round(x / scale) + zero_point``.
+
+    This is the vector unit's quantization op (Section 2.2 lists precision
+    conversion among int32/fp16/int8 as a vector responsibility).
+    """
+    if dtype.is_float:
+        raise ConfigError(f"quantize target must be an integer dtype, got {dtype}")
+    if scale <= 0:
+        raise ConfigError(f"quantization scale must be positive, got {scale}")
+    q = np.rint(array.astype(np.float64) / scale) + zero_point
+    return np.clip(q, dtype.min_value, dtype.max_value).astype(dtype.np_dtype)
+
+
+def dequantize(array: np.ndarray, scale: float, zero_point: int = 0,
+               dtype: DType = FP16) -> np.ndarray:
+    """Invert :func:`quantize`: ``x = (q - zero_point) * scale``."""
+    if not dtype.is_float:
+        raise ConfigError(f"dequantize target must be a float dtype, got {dtype}")
+    return ((array.astype(np.float64) - zero_point) * scale).astype(dtype.np_dtype)

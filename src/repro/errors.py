@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Ascend reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch simulator problems without masking genuine Python bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An architecture configuration is inconsistent or unsupported."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed or used on the wrong pipe."""
+
+
+class MemoryError_(ReproError):
+    """A scratchpad allocation or access is out of bounds.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AllocationError(MemoryError_):
+    """A buffer allocator ran out of space or was misused."""
+
+
+class SimulationError(ReproError):
+    """The event engine reached an inconsistent state (e.g. deadlock)."""
+
+
+class DeadlockError(SimulationError):
+    """Cross-pipe synchronization can never be satisfied."""
+
+
+class GraphError(ReproError):
+    """A graph IR construction or shape-inference problem."""
+
+
+class CompileError(ReproError):
+    """The compiler could not lower a graph or find a legal tiling."""
+
+
+class SchedulingError(ReproError):
+    """Stream/task/block scheduling failed (SoC or cluster level)."""

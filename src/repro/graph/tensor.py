@@ -1,0 +1,53 @@
+"""Tensor metadata flowing through the graph IR."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..dtypes import DType
+from ..errors import GraphError
+
+__all__ = ["TensorSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype metadata of one tensor (no values — the IR is symbolic).
+
+    Activation layout convention is NHWC for images and (batch, seq,
+    features) for sequences, matching the im2col-based lowering.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("tensor needs a name")
+        if not self.shape:
+            raise GraphError(f"tensor {self.name!r} needs a shape")
+        for dim in self.shape:
+            if dim <= 0:
+                raise GraphError(f"tensor {self.name!r} has bad shape {self.shape}")
+
+    @property
+    def elems(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return math.ceil(self.elems * self.dtype.bits / 8)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_name(self, name: str) -> "TensorSpec":
+        return TensorSpec(name, self.shape, self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.name}:{dims}:{self.dtype}"

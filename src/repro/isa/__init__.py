@@ -1,0 +1,46 @@
+"""The Ascend instruction set used by this reproduction.
+
+The paper does not disclose binary encodings; what matters for both the
+functional and the performance model is the *execution contract* of
+Section 2.2 / Figure 3: a scalar Program Sequence Queue dispatches typed
+instructions to parallel per-pipe queues (cube, vector, memory-transfer),
+and explicit ``set_flag``/``wait_flag`` barriers enforce cross-pipe data
+dependencies.  This package defines that contract as typed Python objects.
+"""
+
+from .pipes import Pipe
+from .memref import MemSpace, Region
+from .instructions import (
+    Instruction,
+    CubeMatmul,
+    VectorInstr,
+    VectorOpcode,
+    CopyInstr,
+    Img2ColInstr,
+    TransposeInstr,
+    DecompressInstr,
+    ScalarInstr,
+    SetFlag,
+    WaitFlag,
+    PipeBarrier,
+)
+from .program import Program
+
+__all__ = [
+    "Pipe",
+    "MemSpace",
+    "Region",
+    "Instruction",
+    "CubeMatmul",
+    "VectorInstr",
+    "VectorOpcode",
+    "CopyInstr",
+    "Img2ColInstr",
+    "TransposeInstr",
+    "DecompressInstr",
+    "ScalarInstr",
+    "SetFlag",
+    "WaitFlag",
+    "PipeBarrier",
+    "Program",
+]

@@ -1,0 +1,475 @@
+"""Typed instruction objects dispatched to the core's pipes.
+
+Each instruction knows which :class:`~repro.isa.pipes.Pipe` executes it and
+validates its operand regions at construction time, so malformed programs
+fail at build time rather than mid-simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..dtypes import DType, accumulator_for
+from ..errors import IsaError
+from .memref import MemSpace, Region
+from .pipes import Pipe
+
+__all__ = [
+    "Instruction",
+    "CubeMatmul",
+    "VectorOpcode",
+    "VectorInstr",
+    "CopyInstr",
+    "Img2ColInstr",
+    "TransposeInstr",
+    "DecompressInstr",
+    "ScalarInstr",
+    "SetFlag",
+    "WaitFlag",
+    "PipeBarrier",
+    "COPY_ROUTES",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; ``tag`` attributes instructions to a layer/op for traces."""
+
+    tag: str = field(default="", kw_only=True)
+
+    @property
+    def pipe(self) -> Pipe:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CubeMatmul(Instruction):
+    """C[m, n] (+)= A[m, k] @ B[k, n] on the cube unit.
+
+    ``a``/``b`` live in L0A/L0B with the cube's source dtype; ``c`` lives in
+    L0C with the accumulator dtype (fp32 for fp16 sources, int32 for int8 /
+    int4, Section 2.1).  The m/k/n here are the *L0-resident* tile sizes;
+    the hardware iterates its native cube shape over them, which is what
+    the cost model charges.
+    """
+
+    a: Region = None  # type: ignore[assignment]
+    b: Region = None  # type: ignore[assignment]
+    c: Region = None  # type: ignore[assignment]
+    accumulate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.a is None or self.b is None or self.c is None:
+            raise IsaError("CubeMatmul requires a, b and c regions")
+        if self.a.space is not MemSpace.L0A:
+            raise IsaError(f"CubeMatmul A must be in L0A, got {self.a.space}")
+        if self.b.space is not MemSpace.L0B:
+            raise IsaError(f"CubeMatmul B must be in L0B, got {self.b.space}")
+        if self.c.space is not MemSpace.L0C:
+            raise IsaError(f"CubeMatmul C must be in L0C, got {self.c.space}")
+        if len(self.a.shape) != 2 or len(self.b.shape) != 2 or len(self.c.shape) != 2:
+            raise IsaError("CubeMatmul operands must be 2-D")
+        m, k = self.a.shape
+        k2, n = self.b.shape
+        m2, n2 = self.c.shape
+        if k != k2 or m != m2 or n != n2:
+            raise IsaError(
+                f"CubeMatmul shape mismatch: A{self.a.shape} B{self.b.shape} C{self.c.shape}"
+            )
+        if self.a.dtype is not self.b.dtype:
+            raise IsaError(
+                f"CubeMatmul A/B dtype mismatch: {self.a.dtype} vs {self.b.dtype}"
+            )
+        expected = accumulator_for(self.a.dtype)
+        if self.c.dtype is not expected:
+            raise IsaError(
+                f"CubeMatmul C dtype must be {expected} for {self.a.dtype} sources,"
+                f" got {self.c.dtype}"
+            )
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.M
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+class VectorOpcode(enum.Enum):
+    """Vector-unit operations (Table 2 plus precision conversion, §2.2)."""
+
+    COPY = "copy"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MAX = "max"
+    MIN = "min"
+    ADDS = "adds"  # add scalar
+    MULS = "muls"  # multiply by scalar
+    RELU = "relu"
+    ABS = "abs"
+    NEG = "neg"
+    EXP = "exp"
+    LOG = "log"
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    RECIP = "recip"
+    TANH = "tanh"
+    SIGMOID = "sigmoid"
+    GELU = "gelu"
+    CAST = "cast"
+    QUANTIZE = "quantize"
+    DEQUANTIZE = "dequantize"
+    REDUCE_SUM = "reduce_sum"
+    REDUCE_MAX = "reduce_max"
+    SELECT_GE = "select_ge"  # dst = src0 >= 0 ? src1 : src2 (backward masks)
+    # CV / SLAM extensions of the automotive Vector Core (Section 3.3).
+    SORT = "sort"
+    QUATERNION_MUL = "quaternion_mul"
+    CLUSTER_ASSIGN = "cluster_assign"
+
+    @property
+    def arity(self) -> int:
+        """Number of source regions the op reads."""
+        return _VECTOR_OP_META[self][0]
+
+    @property
+    def passes(self) -> int:
+        """Datapath passes relative to a simple elementwise op —
+        transcendentals are iterative on real hardware."""
+        return _VECTOR_OP_META[self][1]
+
+    @property
+    def is_reduction(self) -> bool:
+        return self in (VectorOpcode.REDUCE_SUM, VectorOpcode.REDUCE_MAX)
+
+
+# op -> (arity, passes)
+_VECTOR_OP_META: Dict["VectorOpcode", Tuple[int, int]] = {
+    VectorOpcode.COPY: (1, 1),
+    VectorOpcode.ADD: (2, 1),
+    VectorOpcode.SUB: (2, 1),
+    VectorOpcode.MUL: (2, 1),
+    VectorOpcode.DIV: (2, 4),
+    VectorOpcode.MAX: (2, 1),
+    VectorOpcode.MIN: (2, 1),
+    VectorOpcode.ADDS: (1, 1),
+    VectorOpcode.MULS: (1, 1),
+    VectorOpcode.RELU: (1, 1),
+    VectorOpcode.ABS: (1, 1),
+    VectorOpcode.NEG: (1, 1),
+    VectorOpcode.EXP: (1, 4),
+    VectorOpcode.LOG: (1, 4),
+    VectorOpcode.SQRT: (1, 4),
+    VectorOpcode.RSQRT: (1, 4),
+    VectorOpcode.RECIP: (1, 4),
+    VectorOpcode.TANH: (1, 6),
+    VectorOpcode.SIGMOID: (1, 6),
+    VectorOpcode.GELU: (1, 8),
+    VectorOpcode.CAST: (1, 1),
+    VectorOpcode.QUANTIZE: (1, 2),
+    VectorOpcode.DEQUANTIZE: (1, 2),
+    VectorOpcode.REDUCE_SUM: (1, 1),
+    VectorOpcode.REDUCE_MAX: (1, 1),
+    VectorOpcode.SELECT_GE: (3, 1),
+    VectorOpcode.SORT: (1, 12),
+    VectorOpcode.QUATERNION_MUL: (2, 4),
+    VectorOpcode.CLUSTER_ASSIGN: (2, 8),
+}
+
+
+_VECTOR_READABLE = (MemSpace.UB, MemSpace.L0C)
+_VECTOR_WRITABLE = (MemSpace.UB, MemSpace.L0C)
+
+
+@dataclass(frozen=True)
+class VectorInstr(Instruction):
+    """An elementwise / reduction op on the vector unit.
+
+    Sources may live in UB or L0C (the vector unit post-processes cube
+    results directly, Section 2.2); the destination is UB, or L0C for the
+    duplex path used in training.
+    """
+
+    op: VectorOpcode = None  # type: ignore[assignment]
+    dst: Region = None  # type: ignore[assignment]
+    srcs: Tuple[Region, ...] = ()
+    scalar: Optional[float] = None  # ADDS/MULS immediate, quant scale, ...
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op is None or self.dst is None:
+            raise IsaError("VectorInstr requires an opcode and a destination")
+        if len(self.srcs) != self.op.arity:
+            raise IsaError(
+                f"{self.op.name} expects {self.op.arity} sources, got {len(self.srcs)}"
+            )
+        if self.dst.space not in _VECTOR_WRITABLE:
+            raise IsaError(f"vector dst must be UB/L0C, got {self.dst.space}")
+        for src in self.srcs:
+            if src.space not in _VECTOR_READABLE:
+                raise IsaError(f"vector src must be UB/L0C, got {src.space}")
+        if self.op in (VectorOpcode.ADDS, VectorOpcode.MULS) and self.scalar is None:
+            raise IsaError(f"{self.op.name} requires a scalar immediate")
+        if self.op in (VectorOpcode.QUANTIZE, VectorOpcode.DEQUANTIZE) and (
+            self.scalar is None or self.scalar <= 0
+        ):
+            raise IsaError(f"{self.op.name} requires a positive scale")
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.V
+
+    @property
+    def elems(self) -> int:
+        """Elements processed — source elements (reductions shrink dst)."""
+        return self.srcs[0].elems if self.srcs else self.dst.elems
+
+
+# Which pipe moves data between a pair of spaces (Section 2.2 datapath).
+COPY_ROUTES: Dict[Tuple[MemSpace, MemSpace], Pipe] = {
+    (MemSpace.GM, MemSpace.L1): Pipe.MTE2,
+    (MemSpace.GM, MemSpace.UB): Pipe.MTE2,
+    (MemSpace.L1, MemSpace.L0A): Pipe.MTE1,
+    (MemSpace.L1, MemSpace.L0B): Pipe.MTE1,
+    (MemSpace.L1, MemSpace.UB): Pipe.MTE1,
+    (MemSpace.L0C, MemSpace.UB): Pipe.V,
+    (MemSpace.UB, MemSpace.L0C): Pipe.V,
+    (MemSpace.UB, MemSpace.GM): Pipe.MTE3,
+    (MemSpace.UB, MemSpace.L1): Pipe.MTE3,
+    (MemSpace.L1, MemSpace.GM): Pipe.MTE3,
+}
+
+
+@dataclass(frozen=True)
+class CopyInstr(Instruction):
+    """A plain data move; the route determines the executing pipe."""
+
+    dst: Region = None  # type: ignore[assignment]
+    src: Region = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dst is None or self.src is None:
+            raise IsaError("CopyInstr requires dst and src regions")
+        route = (self.src.space, self.dst.space)
+        if route not in COPY_ROUTES:
+            raise IsaError(f"no datapath route {route[0]} -> {route[1]}")
+        if self.dst.nbytes < self.src.nbytes:
+            raise IsaError(
+                f"copy destination smaller than source: {self.dst} < {self.src}"
+            )
+
+    @property
+    def pipe(self) -> Pipe:
+        return COPY_ROUTES[(self.src.space, self.dst.space)]
+
+    @property
+    def nbytes(self) -> int:
+        return self.src.nbytes
+
+
+@dataclass(frozen=True)
+class Img2ColInstr(Instruction):
+    """MTE img2col: expand an image window in L1 into a GEMM A-tile in L0A.
+
+    ``src`` is an (H, W, C) image region in L1; ``dst`` is the (m, k)
+    matrix with m = out_h * out_w and k = kh * kw * C (Section 2.2's
+    *img2col* module).
+    """
+
+    dst: Region = None  # type: ignore[assignment]
+    src: Region = None  # type: ignore[assignment]
+    kernel: Tuple[int, int] = (1, 1)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.dst is None or self.src is None:
+            raise IsaError("Img2ColInstr requires dst and src regions")
+        if self.src.space is not MemSpace.L1 or self.dst.space is not MemSpace.L0A:
+            raise IsaError("img2col route is L1 -> L0A")
+        if len(self.src.shape) != 3 or len(self.dst.shape) != 2:
+            raise IsaError("img2col expects a 3-D source and 2-D destination")
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        if kh <= 0 or kw <= 0 or sh <= 0 or sw <= 0:
+            raise IsaError("kernel and stride dims must be positive")
+        h, w, c = self.src.shape
+        oh, ow = self.out_spatial
+        if oh <= 0 or ow <= 0:
+            raise IsaError(f"img2col produces empty output for input {self.src.shape}")
+        if self.dst.shape != (oh * ow, kh * kw * c):
+            raise IsaError(
+                f"img2col dst shape {self.dst.shape} != ({oh * ow}, {kh * kw * c})"
+            )
+
+    @property
+    def out_spatial(self) -> Tuple[int, int]:
+        h, w, _ = self.src.shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        return ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.MTE1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes *written* to L0A — the expanded footprint bounds the bus."""
+        return self.dst.nbytes
+
+
+@dataclass(frozen=True)
+class TransposeInstr(Instruction):
+    """MTE *trans* module: move an L1 matrix into L0A/L0B transposed."""
+
+    dst: Region = None  # type: ignore[assignment]
+    src: Region = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dst is None or self.src is None:
+            raise IsaError("TransposeInstr requires dst and src regions")
+        if self.src.space is not MemSpace.L1:
+            raise IsaError("transpose source must be L1")
+        if self.dst.space not in (MemSpace.L0A, MemSpace.L0B):
+            raise IsaError("transpose destination must be L0A or L0B")
+        if len(self.src.shape) != 2 or len(self.dst.shape) != 2:
+            raise IsaError("transpose operands must be 2-D")
+        if self.dst.shape != (self.src.shape[1], self.src.shape[0]):
+            raise IsaError(
+                f"transpose dst shape {self.dst.shape} != reversed src {self.src.shape}"
+            )
+        if self.dst.dtype is not self.src.dtype:
+            raise IsaError("transpose cannot change dtype")
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.MTE1
+
+    @property
+    def nbytes(self) -> int:
+        return self.src.nbytes
+
+
+@dataclass(frozen=True)
+class DecompressInstr(Instruction):
+    """MTE *decomp* module: zero-value-decompress L1 data into L0B.
+
+    ``src`` is the compressed byte stream (shape = (compressed_bytes,),
+    uint8-like int8 region); ``dst`` is the dense tile it expands to.
+    """
+
+    dst: Region = None  # type: ignore[assignment]
+    src: Region = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dst is None or self.src is None:
+            raise IsaError("DecompressInstr requires dst and src regions")
+        if self.src.space is not MemSpace.L1:
+            raise IsaError("decompress source must be L1")
+        if self.dst.space not in (MemSpace.L0A, MemSpace.L0B):
+            raise IsaError("decompress destination must be L0A or L0B")
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.MTE1
+
+    @property
+    def nbytes(self) -> int:
+        """Bus cost is dominated by the *compressed* bytes read from L1."""
+        return self.src.nbytes
+
+
+@dataclass(frozen=True)
+class ScalarInstr(Instruction):
+    """Scalar-unit work: control flow, address generation, bookkeeping."""
+
+    op: str = "nop"
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise IsaError("scalar instruction cost must be positive")
+
+    @property
+    def pipe(self) -> Pipe:
+        return Pipe.S
+
+
+@dataclass(frozen=True)
+class SetFlag(Instruction):
+    """Signal event ``event_id`` from ``src_pipe`` to ``dst_pipe``.
+
+    Executes on ``src_pipe`` after all earlier work on that pipe finishes
+    (pipes are in-order), making the producer's results visible.
+    """
+
+    src_pipe: Pipe = None  # type: ignore[assignment]
+    dst_pipe: Pipe = None  # type: ignore[assignment]
+    event_id: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_flag(self.src_pipe, self.dst_pipe, self.event_id)
+
+    @property
+    def pipe(self) -> Pipe:
+        return self.src_pipe
+
+
+@dataclass(frozen=True)
+class WaitFlag(Instruction):
+    """Block ``dst_pipe`` until the matching :class:`SetFlag` fires."""
+
+    src_pipe: Pipe = None  # type: ignore[assignment]
+    dst_pipe: Pipe = None  # type: ignore[assignment]
+    event_id: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_flag(self.src_pipe, self.dst_pipe, self.event_id)
+
+    @property
+    def pipe(self) -> Pipe:
+        return self.dst_pipe
+
+
+def _validate_flag(src_pipe: Pipe, dst_pipe: Pipe, event_id: int) -> None:
+    if src_pipe is None or dst_pipe is None:
+        raise IsaError("flag instructions require src_pipe and dst_pipe")
+    if src_pipe is dst_pipe:
+        raise IsaError("flags synchronize *across* pipes; use PipeBarrier within one")
+    if event_id < 0:
+        raise IsaError("event_id must be non-negative")
+
+
+@dataclass(frozen=True)
+class PipeBarrier(Instruction):
+    """Order point within a single pipe (a no-op for this in-order model,
+    kept so compiled programs read like real CCE kernels)."""
+
+    barrier_pipe: Pipe = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.barrier_pipe is None:
+            raise IsaError("PipeBarrier requires a pipe")
+
+    @property
+    def pipe(self) -> Pipe:
+        return self.barrier_pipe

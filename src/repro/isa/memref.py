@@ -1,0 +1,104 @@
+"""Memory spaces and typed regions referenced by instructions.
+
+Every instruction operand is a :class:`Region`: a (space, byte offset,
+shape, dtype) tuple.  Layout inside a region is row-major; the shipped
+hardware uses fractal NZ layouts, but since both the functional model and
+the cost model only depend on byte counts and tile shapes, row-major
+preserves the observable behaviour (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..dtypes import DType
+from ..errors import IsaError
+
+__all__ = ["MemSpace", "Region"]
+
+
+class MemSpace(enum.Enum):
+    """On-core scratchpads plus the external (global) memory."""
+
+    L0A = "l0a"  # cube input feature tiles
+    L0B = "l0b"  # cube weight tiles
+    L0C = "l0c"  # cube accumulator tiles
+    L1 = "l1"  # core-local staging buffer
+    UB = "ub"  # unified buffer (vector/scalar shared)
+    GM = "gm"  # global memory (LLC/HBM behind the BIU)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Region:
+    """A typed view into one memory space.
+
+    By default a region is contiguous.  Rank-2 regions may carry a
+    ``pitch`` — the byte distance between consecutive rows — which is how
+    tiled kernels address sub-matrices of a larger row-major matrix in GM
+    or L1 (the MTE supports strided descriptors on real hardware).
+    """
+
+    space: MemSpace
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: DType
+    pitch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise IsaError(f"negative region offset {self.offset}")
+        if not self.shape:
+            raise IsaError("region shape must have at least one dimension")
+        for dim in self.shape:
+            if dim <= 0:
+                raise IsaError(f"non-positive region dimension in {self.shape}")
+        if self.pitch is not None:
+            if len(self.shape) != 2:
+                raise IsaError("pitch is only supported on rank-2 regions")
+            if self.dtype.bits % 8:
+                raise IsaError("pitched regions require byte-aligned dtypes")
+            if self.pitch < self.row_bytes:
+                raise IsaError(
+                    f"pitch {self.pitch} smaller than row size {self.row_bytes}"
+                )
+
+    @property
+    def elems(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes in one row of a rank-2 region."""
+        return math.ceil(self.shape[-1] * self.dtype.bits / 8)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of payload (what moves over a bus); excludes pitch gaps."""
+        return math.ceil(self.elems * self.dtype.bits / 8)
+
+    @property
+    def footprint(self) -> int:
+        """Bytes of address space spanned, including pitch gaps."""
+        if self.pitch is None:
+            return self.nbytes
+        return (self.shape[0] - 1) * self.pitch + self.row_bytes
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.footprint
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when two regions share bytes in the same space."""
+        if self.space is not other.space:
+            return False
+        return self.offset < other.end and other.offset < self.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.space}[{self.offset}:{self.end}]({dims} {self.dtype})"

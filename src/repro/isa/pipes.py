@@ -1,0 +1,41 @@
+"""Execution pipes of an Ascend core (Section 2.2, Figure 1/3).
+
+The paper names three instruction queues behind the PSQ — cube, vector and
+MTE — plus the scalar unit itself.  The MTE performs three distinct data
+movements with independently provisioned buses (Table 5 lists separate A,
+B and UB bandwidths), so the reproduction splits it the way the shipped
+DaVinci ISA does:
+
+* ``MTE1`` — L1 -> L0A / L0B feeds (including img2col / transpose /
+  decompression on the way),
+* ``MTE2`` — inbound: global memory / LLC -> L1,
+* ``MTE3`` — outbound: UB -> global memory / LLC.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Pipe"]
+
+
+class Pipe(enum.Enum):
+    """One in-order execution queue inside the core."""
+
+    S = "scalar"
+    M = "cube"
+    V = "vector"
+    MTE1 = "mte1"
+    MTE2 = "mte2"
+    MTE3 = "mte3"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    @classmethod
+    def compute_pipes(cls) -> tuple:
+        return (cls.M, cls.V)
+
+    @classmethod
+    def mte_pipes(cls) -> tuple:
+        return (cls.MTE1, cls.MTE2, cls.MTE3)

@@ -1,0 +1,143 @@
+"""Program container: an ordered instruction list with static validation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..config.core_configs import CoreConfig
+from ..errors import IsaError
+from .instructions import (
+    CopyInstr,
+    CubeMatmul,
+    DecompressInstr,
+    Img2ColInstr,
+    Instruction,
+    SetFlag,
+    TransposeInstr,
+    VectorInstr,
+    WaitFlag,
+)
+from .memref import MemSpace, Region
+from .pipes import Pipe
+
+__all__ = ["Program"]
+
+_SPACE_CAPACITY_ATTR = {
+    MemSpace.L0A: "l0a_bytes",
+    MemSpace.L0B: "l0b_bytes",
+    MemSpace.L0C: "l0c_bytes",
+    MemSpace.L1: "l1_bytes",
+    MemSpace.UB: "ub_bytes",
+}
+
+
+@dataclass
+class Program:
+    """An ordered list of instructions for one Ascend core.
+
+    The PSQ dispatches these in order into per-pipe queues; therefore
+    program order *within* a pipe is execution order, while cross-pipe
+    ordering only exists where flags impose it (Figure 3).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    name: str = "program"
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx):
+        return self.instructions[idx]
+
+    def append(self, instr: Instruction) -> None:
+        if not isinstance(instr, Instruction):
+            raise IsaError(f"not an instruction: {instr!r}")
+        self.instructions.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        for instr in instrs:
+            self.append(instr)
+
+    # -- introspection --------------------------------------------------------
+
+    def by_pipe(self) -> Dict[Pipe, List[Instruction]]:
+        """Split into the per-pipe in-order queues the PSQ would fill."""
+        queues: Dict[Pipe, List[Instruction]] = {p: [] for p in Pipe}
+        for instr in self.instructions:
+            queues[instr.pipe].append(instr)
+        return queues
+
+    def pipe_counts(self) -> Dict[Pipe, int]:
+        counts = Counter(instr.pipe for instr in self.instructions)
+        return {p: counts.get(p, 0) for p in Pipe}
+
+    def total_macs(self) -> int:
+        return sum(i.macs for i in self.instructions if isinstance(i, CubeMatmul))
+
+    def total_vector_elems(self) -> int:
+        return sum(i.elems for i in self.instructions if isinstance(i, VectorInstr))
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, config: Optional[CoreConfig] = None) -> None:
+        """Check flag pairing and (optionally) scratchpad bounds.
+
+        Raises :class:`IsaError` on the first problem.  Flag pairing is a
+        conservative count check per (src, dst, event) channel: every wait
+        must have a set, otherwise the core deadlocks; every set must have
+        a wait, otherwise a flag register leaks (both are programming
+        errors on real hardware).
+        """
+        sets: Counter = Counter()
+        waits: Counter = Counter()
+        for instr in self.instructions:
+            if isinstance(instr, SetFlag):
+                sets[(instr.src_pipe, instr.dst_pipe, instr.event_id)] += 1
+            elif isinstance(instr, WaitFlag):
+                waits[(instr.src_pipe, instr.dst_pipe, instr.event_id)] += 1
+        for channel in set(sets) | set(waits):
+            if sets[channel] != waits[channel]:
+                src, dst, event = channel
+                raise IsaError(
+                    f"unbalanced flags on {src}->{dst} event {event}: "
+                    f"{sets[channel]} set vs {waits[channel]} wait"
+                )
+        if config is not None:
+            for idx, instr in enumerate(self.instructions):
+                for region in _regions_of(instr):
+                    self._check_bounds(idx, instr, region, config)
+
+    def _check_bounds(
+        self, idx: int, instr: Instruction, region: Region, config: CoreConfig
+    ) -> None:
+        attr = _SPACE_CAPACITY_ATTR.get(region.space)
+        if attr is None:  # GM is unbounded from the core's perspective
+            return
+        capacity = getattr(config, attr)
+        if region.end > capacity:
+            raise IsaError(
+                f"instruction #{idx} ({type(instr).__name__}) overruns "
+                f"{region.space}: needs [{region.offset}, {region.end}) "
+                f"but {config.name} provides {capacity} bytes"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        counts = ", ".join(
+            f"{pipe}:{count}" for pipe, count in self.pipe_counts().items() if count
+        )
+        return f"Program({self.name!r}, {len(self)} instrs; {counts})"
+
+
+def _regions_of(instr: Instruction) -> Tuple[Region, ...]:
+    if isinstance(instr, CubeMatmul):
+        return (instr.a, instr.b, instr.c)
+    if isinstance(instr, VectorInstr):
+        return (instr.dst, *instr.srcs)
+    if isinstance(instr, (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)):
+        return (instr.dst, instr.src)
+    return ()

@@ -1,0 +1,27 @@
+"""On-chip memory substrate: scratchpads, allocators, bandwidth models,
+LLC, DRAM/HBM, and the zero-value compression codec used by the MTE's
+*decomp* module (Section 2.2).
+"""
+
+from .buffer import Scratchpad, pack_int4, unpack_int4
+from .allocator import BumpAllocator
+from .bandwidth import Route, DatapathModel
+from .llc import LlcModel
+from .dram import DramModel
+from .zvc import zvc_compress, zvc_decompress, zvc_compressed_nbytes
+from .hierarchy import CoreMemory
+
+__all__ = [
+    "Scratchpad",
+    "pack_int4",
+    "unpack_int4",
+    "BumpAllocator",
+    "Route",
+    "DatapathModel",
+    "LlcModel",
+    "DramModel",
+    "zvc_compress",
+    "zvc_decompress",
+    "zvc_compressed_nbytes",
+    "CoreMemory",
+]

@@ -1,0 +1,128 @@
+"""Software-managed scratchpad buffers (L0A/L0B/L0C, L1, UB, and GM).
+
+Unlike a cache, an Ascend scratchpad has no tags or replacement: the
+compiler owns placement, which is why instructions address raw byte
+offsets.  Functionally a scratchpad is a flat byte array; typed access
+happens through :class:`~repro.isa.memref.Region` views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import INT4
+from ..errors import MemoryError_
+from ..isa.memref import Region
+
+__all__ = ["Scratchpad", "pack_int4", "unpack_int4"]
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack an int8 array of int4 values ([-8, 7]) two-per-byte.
+
+    Odd-length inputs are padded with a zero nibble.
+    """
+    flat = values.astype(np.int8).ravel()
+    if flat.size and (flat.max() > 7 or flat.min() < -8):
+        raise MemoryError_("int4 values out of range [-8, 7]")
+    if flat.size % 2:
+        flat = np.concatenate([flat, np.zeros(1, np.int8)])
+    lo = flat[0::2].astype(np.uint8) & 0x0F
+    hi = (flat[1::2].astype(np.uint8) & 0x0F) << 4
+    return (lo | hi).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` int4 values from a packed uint8 array."""
+    lo = (packed & 0x0F).astype(np.uint8)
+    hi = (packed >> 4).astype(np.uint8)
+    nibbles = np.empty(packed.size * 2, np.uint8)
+    nibbles[0::2] = lo
+    nibbles[1::2] = hi
+    if count > nibbles.size:
+        raise MemoryError_(f"asked for {count} int4 values, packed holds {nibbles.size}")
+    signed = nibbles[:count].astype(np.int8)
+    signed[signed > 7] -= 16  # sign-extend the nibble
+    return signed
+
+
+class Scratchpad:
+    """A bounds-checked flat byte buffer with typed region access."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise MemoryError_(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._data = np.zeros(capacity, dtype=np.uint8)
+
+    def _check(self, region: Region) -> None:
+        if region.end > self.capacity:
+            raise MemoryError_(
+                f"{self.name}: region [{region.offset}, {region.end}) exceeds "
+                f"capacity {self.capacity}"
+            )
+
+    def read(self, region: Region) -> np.ndarray:
+        """Return a *copy* of the region's contents, shaped and typed."""
+        self._check(region)
+        if region.pitch is not None:
+            rows, _ = region.shape
+            idx = (
+                region.offset
+                + np.arange(rows)[:, None] * region.pitch
+                + np.arange(region.row_bytes)[None, :]
+            )
+            raw = self._data[idx].reshape(-1)
+            return raw.view(region.dtype.np_dtype).reshape(region.shape).copy()
+        raw = self._data[region.offset : region.end]
+        if region.dtype is INT4:
+            values = unpack_int4(raw, region.elems)
+        else:
+            values = raw.view(region.dtype.np_dtype)[: region.elems].copy()
+        return values.reshape(region.shape)
+
+    def write(self, region: Region, values: np.ndarray) -> None:
+        """Store ``values`` (shape must match) into the region."""
+        self._check(region)
+        arr = np.asarray(values)
+        if arr.shape != region.shape:
+            raise MemoryError_(
+                f"{self.name}: write shape {arr.shape} != region shape {region.shape}"
+            )
+        if region.pitch is not None:
+            rows, _ = region.shape
+            raw = np.ascontiguousarray(
+                arr.astype(region.dtype.np_dtype, copy=False)
+            ).view(np.uint8).reshape(rows, region.row_bytes)
+            idx = (
+                region.offset
+                + np.arange(rows)[:, None] * region.pitch
+                + np.arange(region.row_bytes)[None, :]
+            )
+            self._data[idx] = raw
+            return
+        if region.dtype is INT4:
+            raw = pack_int4(arr)
+        else:
+            raw = np.ascontiguousarray(
+                arr.astype(region.dtype.np_dtype, copy=False)
+            ).view(np.uint8).ravel()
+        self._data[region.offset : region.offset + raw.size] = raw
+
+    def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
+        if offset < 0 or offset + nbytes > self.capacity:
+            raise MemoryError_(f"{self.name}: raw read out of bounds")
+        return self._data[offset : offset + nbytes].copy()
+
+    def write_bytes(self, offset: int, raw: np.ndarray) -> None:
+        raw = np.asarray(raw, dtype=np.uint8)
+        if offset < 0 or offset + raw.size > self.capacity:
+            raise MemoryError_(f"{self.name}: raw write out of bounds")
+        self._data[offset : offset + raw.size] = raw
+
+    def clear(self) -> None:
+        self._data[:] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scratchpad({self.name!r}, {self.capacity} B)"

@@ -1,0 +1,40 @@
+"""External memory (HBM / LPDDR) bandwidth-latency model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["DramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """A flat-bandwidth external memory with fixed access latency.
+
+    The Ascend 910 integrates four HBM stacks for 1.2 TB/s in total
+    (Section 3.1.2); mobile and automotive parts use LPDDR.  Page-level
+    effects are deliberately out of scope (DESIGN.md fidelity note); the
+    utilization factor captures the average efficiency loss instead.
+    """
+
+    bandwidth: float  # bytes/s
+    latency_s: float = 120e-9
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if not 0 < self.utilization <= 1:
+            raise ConfigError("DRAM utilization must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.bandwidth * self.utilization
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` (one-shot latency + streaming)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / self.effective_bandwidth

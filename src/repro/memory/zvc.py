@@ -1,0 +1,61 @@
+"""Zero-value compression (ZVC) codec used by the MTE *decomp* module.
+
+Section 2.2: "The decomp module decompresses the data for sparse network,
+with the help of Zero-Value Compression like algorithms".  The format here
+is the classic bitmask scheme: a 1-bit-per-element presence mask followed
+by the packed non-zero values.  Compression is lossless for any input; it
+*saves* space whenever more than ~1/(8*elem_size) of elements are zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import MemoryError_
+
+__all__ = ["zvc_compress", "zvc_decompress", "zvc_compressed_nbytes"]
+
+
+def zvc_compress(values: np.ndarray) -> np.ndarray:
+    """Compress a numeric array into a ZVC byte stream.
+
+    Stream layout: [mask bytes][packed non-zero values]; the caller is
+    responsible for remembering shape and dtype (the MTE instruction
+    carries them as region metadata, like real descriptors do).
+    """
+    flat = np.ascontiguousarray(values).ravel()
+    mask = flat != 0
+    mask_bytes = np.packbits(mask.astype(np.uint8))
+    nonzero_bytes = np.ascontiguousarray(flat[mask]).view(np.uint8)
+    return np.concatenate([mask_bytes, nonzero_bytes])
+
+
+def zvc_decompress(stream: np.ndarray, shape: Tuple[int, ...],
+                   np_dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`zvc_compress` given the original shape and dtype."""
+    count = int(np.prod(shape))
+    mask_nbytes = math.ceil(count / 8)
+    if stream.size < mask_nbytes:
+        raise MemoryError_("ZVC stream shorter than its mask")
+    mask = np.unpackbits(stream[:mask_nbytes].astype(np.uint8))[:count].astype(bool)
+    elem_size = np.dtype(np_dtype).itemsize
+    nnz = int(mask.sum())
+    payload = stream[mask_nbytes : mask_nbytes + nnz * elem_size]
+    if payload.size != nnz * elem_size:
+        raise MemoryError_("ZVC stream truncated")
+    out = np.zeros(count, dtype=np_dtype)
+    out[mask] = payload.view(np_dtype)
+    return out.reshape(shape)
+
+
+def zvc_compressed_nbytes(elems: int, density: float, elem_bytes: float) -> float:
+    """Analytic compressed size for the performance model.
+
+    ``density`` is the fraction of non-zero elements.
+    """
+    if not 0 <= density <= 1:
+        raise MemoryError_(f"density must be in [0, 1], got {density}")
+    return elems / 8 + density * elems * elem_bytes

@@ -1,0 +1,38 @@
+"""Model zoo: the workloads the paper evaluates (Table 1, Figures 4-9).
+
+All models are built on the graph IR with exact per-layer shapes, so MAC
+and element counts match the published architectures.
+"""
+
+from .resnet import build_resnet50, build_resnet18
+from .mobilenet import build_mobilenet_v2
+from .bert import build_bert, BERT_BASE, BERT_LARGE, BertConfig
+from .detection import build_detector, build_siamese_tracker
+from .gesture import build_gesture_net
+from .isp import build_isp_unet
+from .pointnet import build_pointnet
+from .vgg import build_vgg16
+from .wide_deep import build_wide_deep
+from .training import training_workloads, optimizer_workload
+from .zoo import MODEL_BUILDERS, build_model
+
+__all__ = [
+    "build_resnet50",
+    "build_resnet18",
+    "build_mobilenet_v2",
+    "build_bert",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "BertConfig",
+    "build_gesture_net",
+    "build_vgg16",
+    "build_wide_deep",
+    "build_detector",
+    "build_pointnet",
+    "build_isp_unet",
+    "build_siamese_tracker",
+    "training_workloads",
+    "optimizer_workload",
+    "MODEL_BUILDERS",
+    "build_model",
+]

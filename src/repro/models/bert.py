@@ -1,0 +1,116 @@
+"""BERT encoder (Devlin et al.) — the Ascend-Max reference workload.
+
+Layer groups are per sub-operation within each encoder layer (qkv,
+attention, output projection, FFN halves); the per-group cube/vector
+ratios reproduce Figure 4's spread: projection/FFN groups sit far above
+1 while attention-score groups (dominated by softmax) dip toward or
+below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import DType, FP16, INT32
+from ..errors import GraphError
+from ..graph import Graph, GraphBuilder, TensorSpec
+
+__all__ = ["BertConfig", "BERT_BASE", "BERT_LARGE", "build_bert"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Transformer encoder hyperparameters."""
+
+    name: str
+    hidden: int
+    layers: int
+    heads: int
+    intermediate: int
+    vocab_size: int = 30522
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads:
+            raise GraphError(
+                f"{self.name}: hidden {self.hidden} not divisible by heads {self.heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+BERT_BASE = BertConfig("bert-base", hidden=768, layers=12, heads=12,
+                       intermediate=3072)
+BERT_LARGE = BertConfig("bert-large", hidden=1024, layers=24, heads=16,
+                        intermediate=4096)
+
+
+def _encoder_layer(b: GraphBuilder, x: TensorSpec, cfg: BertConfig,
+                   index: int) -> TensorSpec:
+    batch, seq, hidden = x.shape
+    prefix = f"L{index}"
+
+    # Multi-head attention: QKV projections (one group — they share shape).
+    b.group(f"{prefix}.qkv")
+    q = b.dense(x, hidden, name=f"{prefix}_q")
+    k = b.dense(x, hidden, name=f"{prefix}_k")
+    v = b.dense(x, hidden, name=f"{prefix}_v")
+
+    # Scores + softmax: (B*H, S, D) @ (B*H, S, D)^T -> (B*H, S, S).
+    b.group(f"{prefix}.attn")
+    q_heads = TensorSpec(f"{prefix}_qh", (batch * cfg.heads, seq, cfg.head_dim), x.dtype)
+    k_heads = TensorSpec(f"{prefix}_kh", (batch * cfg.heads, seq, cfg.head_dim), x.dtype)
+    v_heads = TensorSpec(f"{prefix}_vh", (batch * cfg.heads, seq, cfg.head_dim), x.dtype)
+    _reshape(b, q, q_heads)
+    _reshape(b, k, k_heads)
+    _reshape(b, v, v_heads)
+    scores = b.batch_matmul(q_heads, k_heads, transpose_b=True,
+                            name=f"{prefix}_scores")
+    probs = b.softmax(scores, name=f"{prefix}_probs")
+    context = b.batch_matmul(probs, v_heads, name=f"{prefix}_context")
+
+    # Output projection + residual + LayerNorm.
+    b.group(f"{prefix}.proj")
+    ctx_flat = TensorSpec(f"{prefix}_ctx", (batch, seq, hidden), x.dtype)
+    _reshape(b, context, ctx_flat)
+    attn_out = b.dense(ctx_flat, hidden, name=f"{prefix}_attn_out")
+    attn_out = b.add(attn_out, x)
+    attn_out = b.layer_norm(attn_out, name=f"{prefix}_ln1")
+
+    # Feed-forward halves.
+    b.group(f"{prefix}.ffn1")
+    ffn = b.dense(attn_out, cfg.intermediate, name=f"{prefix}_ffn1")
+    ffn = b.activation(ffn, "gelu")
+    b.group(f"{prefix}.ffn2")
+    ffn = b.dense(ffn, hidden, name=f"{prefix}_ffn2")
+    ffn = b.add(ffn, attn_out)
+    return b.layer_norm(ffn, name=f"{prefix}_ln2")
+
+
+def _reshape(b: GraphBuilder, src: TensorSpec, dst: TensorSpec) -> None:
+    """Head split/merge via the IR's Reshape node."""
+    from ..graph.ops import Reshape
+
+    b.graph.add(
+        Reshape(name=f"reshape_{dst.name}", inputs=(src,), output=dst,
+                group=b._group)
+    )
+
+
+def build_bert(cfg: BertConfig = BERT_BASE, batch: int = 1, seq: int = 128,
+               dtype: DType = FP16, include_embeddings: bool = True) -> Graph:
+    """Build a BERT encoder graph (inference forward pass)."""
+    b = GraphBuilder(f"{cfg.name}_b{batch}_s{seq}", dtype)
+    if include_embeddings:
+        ids = b.input("token_ids", (batch, seq), dtype=INT32)
+        b.group("embed")
+        x = b.embedding(ids, cfg.vocab_size, cfg.hidden, name="embedding")
+        x = b.layer_norm(x, name="embed_ln")
+    else:
+        x = b.input("hidden_in", (batch, seq, cfg.hidden))
+    for layer in range(cfg.layers):
+        x = _encoder_layer(b, x, cfg, layer)
+    b.group("pooler")
+    b.dense(x, cfg.hidden, name="pooler")
+    return b.build()

@@ -1,0 +1,171 @@
+"""Detection and tracking workloads (Table 1: "MaskRCNN Series, Siamese
+Tracking" on the Ascend core).
+
+* :func:`build_detector` — a Faster/Mask-RCNN-style pipeline: ResNet-50
+  backbone, FPN neck (lateral 1x1 convs + top-down upsampling), an RPN
+  head whose proposal/NMS stages run as vector CV operators (Table 2
+  lists RPN among the vector unit's CV operators), ROI-Align, and a
+  two-FC detection head.
+* :func:`build_siamese_tracker` — a SiamFC/RPN-style tracker: shared
+  backbone over template and search crops, then depthwise
+  cross-correlation (a vector CV op) and a light prediction head.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder, TensorSpec
+from ..graph.ops import CvOp, Reshape, Upsample2D
+from .resnet import _bottleneck, _stem
+
+__all__ = ["build_detector", "build_siamese_tracker"]
+
+_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _backbone_stages(b: GraphBuilder, x: TensorSpec) -> List[TensorSpec]:
+    """ResNet-50 backbone returning the C2..C5 feature maps."""
+    x = _stem(b, x)
+    features = []
+    for stage, (count, width) in enumerate(_STAGES, start=2):
+        for i in range(count):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            x = _bottleneck(b, x, width, width * 4, stride,
+                            label=f"conv{stage}_{i + 1}")
+        features.append(x)
+    return features
+
+
+def _fpn(b: GraphBuilder, features: List[TensorSpec],
+         channels: int = 256) -> List[TensorSpec]:
+    """Feature pyramid: lateral 1x1 convs, top-down adds, 3x3 smoothing."""
+    laterals = []
+    for i, feat in enumerate(features):
+        b.group(f"fpn_lat{i + 2}")
+        laterals.append(b.conv2d(feat, channels, kernel=1,
+                                 name=f"fpn_lateral{i + 2}"))
+    outs = [laterals[-1]]
+    for i in range(len(laterals) - 2, -1, -1):
+        b.group(f"fpn_td{i + 2}")
+        upper = outs[0]
+        up_spec = TensorSpec(
+            f"fpn_up{i + 2}",
+            (upper.shape[0], upper.shape[1] * 2, upper.shape[2] * 2,
+             upper.shape[3]),
+            upper.dtype,
+        )
+        b.graph.add(Upsample2D(name=f"fpn_upsample{i + 2}", inputs=(upper,),
+                               output=up_spec, group=b._group, factor=2))
+        merged = b.add(laterals[i], up_spec)
+        outs.insert(0, merged)
+    smoothed = []
+    for i, feat in enumerate(outs):
+        b.group(f"fpn_out{i + 2}")
+        smoothed.append(b.conv2d(feat, channels, kernel=3, padding=1,
+                                 name=f"fpn_smooth{i + 2}"))
+    return smoothed
+
+
+def _rpn(b: GraphBuilder, pyramid: List[TensorSpec], anchors: int = 3
+         ) -> List[TensorSpec]:
+    """RPN head per pyramid level + proposal/NMS vector CV ops."""
+    proposals = []
+    for i, feat in enumerate(pyramid):
+        b.group(f"rpn_p{i + 2}")
+        hidden = b.conv2d(feat, feat.shape[-1], kernel=3, padding=1,
+                          name=f"rpn_conv{i + 2}")
+        hidden = b.relu(hidden)
+        scores = b.conv2d(hidden, anchors, kernel=1,
+                          name=f"rpn_cls{i + 2}")
+        b.conv2d(hidden, 4 * anchors, kernel=1, name=f"rpn_box{i + 2}")
+        prop = TensorSpec(f"rpn_prop{i + 2}", scores.shape, scores.dtype)
+        b.graph.add(CvOp(name=f"rpn_proposal{i + 2}", inputs=(scores,),
+                         output=prop, group=b._group, kind="rpn_proposal"))
+        proposals.append(prop)
+    return proposals
+
+
+def build_detector(batch: int = 1, image: int = 512, rois: int = 256,
+                   classes: int = 81, dtype: DType = FP16) -> Graph:
+    """A Faster-RCNN-style detector graph (MaskRCNN-series workload)."""
+    b = GraphBuilder(f"detector_b{batch}", dtype)
+    x = b.input("image", (batch, image, image, 3))
+    features = _backbone_stages(b, x)
+    pyramid = _fpn(b, features)
+    proposals = _rpn(b, pyramid)
+
+    # NMS over all levels' proposals (vector CV op).
+    b.group("nms")
+    total = sum(p.elems for p in proposals)
+    flat_props = []
+    for p in proposals:
+        spec = TensorSpec(f"{p.name}_flat", (p.elems,), p.dtype)
+        b.graph.add(Reshape(name=f"{p.name}_reshape", inputs=(p,),
+                            output=spec, group="nms"))
+        flat_props.append(spec)
+    keep = TensorSpec("nms_keep", (batch * rois, 5), dtype)
+    b.graph.add(CvOp(name="nms", inputs=(flat_props[0],), output=keep,
+                     group="nms", kind="nms"))
+
+    # ROI-Align + two-FC detection head.
+    b.group("roi_head")
+    roi_feat = TensorSpec("roi_feats", (batch * rois, 7, 7, 256), dtype)
+    b.graph.add(CvOp(name="roi_align", inputs=(keep,), output=roi_feat,
+                     group="roi_head", kind="roi_align"))
+    flat = TensorSpec("roi_flat", (batch * rois, 7 * 7 * 256), dtype)
+    b.graph.add(Reshape(name="roi_flatten", inputs=(roi_feat,), output=flat,
+                        group="roi_head"))
+    h = b.dense(flat, 1024, name="head_fc1")
+    h = b.relu(h)
+    h = b.dense(h, 1024, name="head_fc2")
+    h = b.relu(h)
+    b.group("predict")
+    cls = b.dense(h, classes, name="cls_score")
+    b.softmax(cls)
+    b.dense(h, 4 * classes, name="bbox_pred")
+    return b.build()
+
+
+def build_siamese_tracker(batch: int = 1, template: int = 127,
+                          search: int = 255, feat_channels: int = 256,
+                          dtype: DType = FP16) -> Graph:
+    """A SiamRPN-style tracker: shared conv backbone + cross-correlation."""
+    b = GraphBuilder(f"siamese_b{batch}", dtype)
+    z = b.input("template", (batch, template, template, 3))
+    x = b.input("search", (batch, search, search, 3))
+
+    def branch(inp: TensorSpec, prefix: str) -> TensorSpec:
+        b.group(f"{prefix}_backbone")
+        y = b.conv2d(inp, 64, kernel=7, stride=2, padding=3,
+                     name=f"{prefix}_conv1")
+        y = b.batch_norm(y)
+        y = b.relu(y)
+        y = b.pool2d(y, kernel=3, stride=2, padding=1)
+        y = b.conv2d(y, 128, kernel=3, stride=2, padding=1,
+                     name=f"{prefix}_conv2")
+        y = b.relu(y)
+        y = b.conv2d(y, feat_channels, kernel=3, stride=2, padding=1,
+                     name=f"{prefix}_conv3")
+        return b.relu(y)
+
+    z_feat = branch(z, "template")
+    x_feat = branch(x, "search")
+
+    # Depthwise cross-correlation on the vector unit (CV op): template
+    # features slide over search features per channel.
+    b.group("xcorr")
+    zb, zh, zw, zc = z_feat.shape
+    xb, xh, xw, xc = x_feat.shape
+    corr = TensorSpec("xcorr_map",
+                      (batch, xh - zh + 1, xw - zw + 1, feat_channels),
+                      dtype)
+    b.graph.add(CvOp(name="xcorr", inputs=(x_feat, z_feat), output=corr,
+                     group="xcorr", kind="xcorr"))
+
+    b.group("head")
+    score = b.conv2d(corr, 10, kernel=1, name="rpn_cls")  # 5 anchors x 2
+    b.softmax(score)
+    b.conv2d(corr, 20, kernel=1, name="rpn_reg")  # 5 anchors x 4
+    return b.build()

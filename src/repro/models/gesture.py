@@ -1,0 +1,35 @@
+"""Gesture-inference CNN — the Ascend-Tiny reference workload (Figure 8).
+
+Huawei does not publish this network; the stand-in is a small int8
+always-on CNN in the style of wake-up/gesture detectors (~100k params,
+~20 MOPs at 96x96 gray input).  Every layer's cube/vector ratio exceeds 1
+on the Tiny configuration, matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+from ..dtypes import DType, INT8
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["build_gesture_net"]
+
+
+def build_gesture_net(batch: int = 1, image: int = 96, classes: int = 8,
+                      dtype: DType = INT8) -> Graph:
+    """A 6-conv int8 gesture classifier."""
+    b = GraphBuilder(f"gesture_b{batch}", dtype)
+    x = b.input("frame", (batch, image, image, 1))
+    channels = (8, 16, 32, 32, 64, 64)
+    for i, ch in enumerate(channels, start=1):
+        b.group(f"conv{i}")
+        stride = 2 if i in (1, 3, 5) else 1
+        # int8 deployment folds bias into the requantization step that
+        # rides the L0C -> UB move, so the conv itself carries no bias op.
+        x = b.conv2d(x, ch, kernel=3, stride=stride, padding=1, bias=False,
+                     name=f"conv{i}")
+        x = b.relu(x)
+    b.group("fc")
+    x = b.global_avg_pool(x)
+    x = b.dense(x, classes, name="fc")
+    b.softmax(x)
+    return b.build()

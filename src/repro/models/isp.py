@@ -1,0 +1,62 @@
+"""An ISP denoising network — Table 1's "Novel Neural Network for Image
+Signal Processor" workload on Ascend-Lite.
+
+Phone ISPs run small residual U-Nets on raw sensor tiles (denoise /
+demosaic / HDR fusion).  Huawei's network is unpublished; the stand-in
+is a 3-level residual U-Net over a 128x128 tile, built entirely from IR
+ops (down: strided conv; up: :class:`Upsample2D` + conv; skip: add).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder, TensorSpec
+from ..graph.ops import Upsample2D
+
+__all__ = ["build_isp_unet"]
+
+
+def build_isp_unet(batch: int = 1, tile: int = 128, base_channels: int = 16,
+                   dtype: DType = FP16) -> Graph:
+    """A 3-level residual U-Net denoiser over raw 4-channel tiles."""
+    b = GraphBuilder(f"isp_unet_b{batch}", dtype)
+    x = b.input("raw_tile", (batch, tile, tile, 4))
+
+    def conv_block(inp: TensorSpec, ch: int, label: str,
+                   stride: int = 1) -> TensorSpec:
+        b.group(label)
+        y = b.conv2d(inp, ch, kernel=3, stride=stride, padding=1, bias=False)
+        y = b.batch_norm(y)
+        return b.relu(y)
+
+    # Encoder.
+    skips: List[TensorSpec] = []
+    y = conv_block(x, base_channels, "enc0")
+    for level in range(1, 4):
+        skips.append(y)
+        y = conv_block(y, base_channels * 2 ** level, f"enc{level}",
+                       stride=2)
+
+    # Decoder with skip additions.
+    for level in range(3, 0, -1):
+        b.group(f"dec{level}")
+        ch = base_channels * 2 ** (level - 1)
+        up_spec = TensorSpec(
+            f"up{level}",
+            (batch, y.shape[1] * 2, y.shape[2] * 2, y.shape[3]), dtype)
+        b.graph.add(Upsample2D(name=f"upsample{level}", inputs=(y,),
+                               output=up_spec, group=b._group, factor=2))
+        y = b.conv2d(up_spec, ch, kernel=3, padding=1, bias=False,
+                     name=f"dec_conv{level}")
+        y = b.batch_norm(y)
+        y = b.relu(y)
+        y = b.add(y, skips[level - 1], name=f"skip{level}")
+
+    # Residual output: predict the noise, subtract via a final add of the
+    # (negated) estimate — modeled as conv + add with the input's RGGB.
+    b.group("out")
+    noise = b.conv2d(y, 4, kernel=3, padding=1, name="noise_pred")
+    b.add(noise, x, name="denoised")
+    return b.build()

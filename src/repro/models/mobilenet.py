@@ -1,0 +1,76 @@
+"""MobileNetV2 (Sandler et al.) — the Ascend-Lite reference workload.
+
+Depthwise convolutions execute on the vector unit (see
+:class:`~repro.graph.ops.DepthwiseConv2D`), which is why this network's
+cube/vector ratios sit between 0 and 1 (Figure 6) and why Ascend-Lite
+keeps a relatively wide vector unit (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder, TensorSpec
+
+__all__ = ["build_mobilenet_v2"]
+
+# (expansion t, output channels c, repeats n, first stride s)
+_INVERTED_RESIDUAL_CFG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(b: GraphBuilder, x: TensorSpec, expand: int, out: int,
+                       stride: int, label: str) -> TensorSpec:
+    b.group(label)
+    in_ch = x.shape[-1]
+    shortcut = x
+    y = x
+    if expand != 1:
+        y = b.conv2d(y, in_ch * expand, kernel=1, bias=False)
+        y = b.batch_norm(y)
+        y = b.activation(y, "relu6")
+    y = b.depthwise_conv2d(y, kernel=3, stride=stride, padding=1, bias=False)
+    y = b.batch_norm(y)
+    y = b.activation(y, "relu6")
+    y = b.conv2d(y, out, kernel=1, bias=False)
+    y = b.batch_norm(y)
+    if stride == 1 and in_ch == out:
+        y = b.add(y, shortcut)
+    return y
+
+
+def build_mobilenet_v2(batch: int = 1, image: int = 224, classes: int = 1000,
+                       width_mult: float = 1.0, dtype: DType = FP16) -> Graph:
+    """MobileNetV2 at a given width multiplier."""
+
+    def scaled(c: int) -> int:
+        return max(8, int(round(c * width_mult / 8)) * 8)
+
+    b = GraphBuilder(f"mobilenetv2_b{batch}", dtype)
+    x = b.input("image", (batch, image, image, 3))
+    b.group("conv1")
+    x = b.conv2d(x, scaled(32), kernel=3, stride=2, padding=1, bias=False,
+                 name="conv1")
+    x = b.batch_norm(x)
+    x = b.activation(x, "relu6")
+    block = 0
+    for t, c, n, s in _INVERTED_RESIDUAL_CFG:
+        for i in range(n):
+            block += 1
+            x = _inverted_residual(b, x, t, scaled(c), s if i == 0 else 1,
+                                   label=f"block{block}")
+    b.group("conv_last")
+    x = b.conv2d(x, scaled(1280), kernel=1, bias=False)
+    x = b.batch_norm(x)
+    x = b.activation(x, "relu6")
+    b.group("fc")
+    x = b.global_avg_pool(x)
+    x = b.dense(x, classes, name="fc")
+    b.softmax(x)
+    return b.build()

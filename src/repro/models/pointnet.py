@@ -1,0 +1,54 @@
+"""PointNet (Qi et al.) — Table 1's "Pointsnet Series" workload.
+
+Point clouds are (B, N, 3); per-point shared MLPs are Dense layers over
+the point axis (exactly how the Ascend compiler maps them: 1x1
+convolutions become GEMMs with m = B*N), followed by a global max pool
+over points (a vector reduction) and a classification head.
+"""
+
+from __future__ import annotations
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder, TensorSpec
+from ..graph.ops import Reshape
+
+__all__ = ["build_pointnet"]
+
+
+def build_pointnet(batch: int = 1, points: int = 1024, classes: int = 40,
+                   dtype: DType = FP16) -> Graph:
+    """PointNet classifier (vanilla, no T-Net) over ``points`` points."""
+    b = GraphBuilder(f"pointnet_b{batch}", dtype)
+    x = b.input("cloud", (batch, points, 3))
+
+    # Per-point shared MLP: 64 -> 64 -> 64 -> 128 -> 1024.
+    for i, width in enumerate((64, 64, 64, 128, 1024), start=1):
+        b.group(f"mlp{i}")
+        x = b.dense(x, width, name=f"mlp{i}")
+        x = b.batch_norm(x)
+        x = b.relu(x)
+
+    # Global feature: max over points (vector reduction); the IR's
+    # reduction op works on the last axis, so transpose via reshape to
+    # (batch, 1024, points) is folded into the pooling workload here —
+    # modeled as a GlobalAvgPool-class reduction over N*1024 elements.
+    b.group("maxpool")
+    pooled_in = TensorSpec("pool_view", (batch, points, 1, 1024), dtype)
+    b.graph.add(Reshape(name="pool_reshape", inputs=(x,), output=pooled_in,
+                        group="maxpool"))
+    x = b.pool2d(pooled_in, kernel=(points, 1), stride=(points, 1),
+                 mode="max", name="global_max")
+    flat = TensorSpec("global_feat", (batch, 1024), dtype)
+    b.graph.add(Reshape(name="feat_reshape", inputs=(x,), output=flat,
+                        group="maxpool"))
+
+    # Classification head: 512 -> 256 -> classes.
+    b.group("head")
+    h = b.dense(flat, 512, name="fc1")
+    h = b.batch_norm(h)
+    h = b.relu(h)
+    h = b.dense(h, 256, name="fc2")
+    h = b.relu(h)
+    logits = b.dense(h, classes, name="fc3")
+    b.softmax(logits)
+    return b.build()

@@ -1,0 +1,98 @@
+"""ResNet (He et al., 2016) — the Ascend / Ascend-Mini reference workload.
+
+Layer groups follow the paper's per-layer plots: each bottleneck block is
+one group covering its convolutions, batch norms, activations and the
+residual add.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder, TensorSpec
+
+__all__ = ["build_resnet50", "build_resnet18"]
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+
+
+def _stem(b: GraphBuilder, x: TensorSpec) -> TensorSpec:
+    b.group("conv1")
+    x = b.conv2d(x, 64, kernel=7, stride=2, padding=3, bias=False, name="conv1")
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    b.group("pool1")
+    return b.pool2d(x, kernel=3, stride=2, padding=1, mode="max")
+
+
+def _bottleneck(b: GraphBuilder, x: TensorSpec, mid: int, out: int,
+                stride: int, label: str) -> TensorSpec:
+    b.group(label)
+    shortcut = x
+    y = b.conv2d(x, mid, kernel=1, bias=False)
+    y = b.batch_norm(y)
+    y = b.relu(y)
+    y = b.conv2d(y, mid, kernel=3, stride=stride, padding=1, bias=False)
+    y = b.batch_norm(y)
+    y = b.relu(y)
+    y = b.conv2d(y, out, kernel=1, bias=False)
+    y = b.batch_norm(y)
+    if stride != 1 or shortcut.shape[-1] != out:
+        shortcut = b.conv2d(shortcut, out, kernel=1, stride=stride, bias=False)
+        shortcut = b.batch_norm(shortcut)
+    y = b.add(y, shortcut)
+    return b.relu(y)
+
+
+def _basic_block(b: GraphBuilder, x: TensorSpec, out: int, stride: int,
+                 label: str) -> TensorSpec:
+    b.group(label)
+    shortcut = x
+    y = b.conv2d(x, out, kernel=3, stride=stride, padding=1, bias=False)
+    y = b.batch_norm(y)
+    y = b.relu(y)
+    y = b.conv2d(y, out, kernel=3, padding=1, bias=False)
+    y = b.batch_norm(y)
+    if stride != 1 or shortcut.shape[-1] != out:
+        shortcut = b.conv2d(shortcut, out, kernel=1, stride=stride, bias=False)
+        shortcut = b.batch_norm(shortcut)
+    y = b.add(y, shortcut)
+    return b.relu(y)
+
+
+def _head(b: GraphBuilder, x: TensorSpec, classes: int) -> Graph:
+    b.group("fc")
+    x = b.global_avg_pool(x)
+    x = b.dense(x, classes, name="fc")
+    b.softmax(x)
+    return b.build()
+
+
+def build_resnet50(batch: int = 1, image: int = 224, classes: int = 1000,
+                   dtype: DType = FP16) -> Graph:
+    """ResNet-50 v1.5 (stride-2 in the 3x3 conv, as the MLPerf variant)."""
+    b = GraphBuilder(f"resnet50_b{batch}", dtype)
+    x = b.input("image", (batch, image, image, 3))
+    x = _stem(b, x)
+    blocks = (3, 4, 6, 3)
+    for stage, (count, width) in enumerate(zip(blocks, _STAGE_CHANNELS), start=2):
+        for i in range(count):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            x = _bottleneck(b, x, width, width * 4, stride,
+                            label=f"conv{stage}_{i + 1}")
+    return _head(b, x, classes)
+
+
+def build_resnet18(batch: int = 1, image: int = 224, classes: int = 1000,
+                   dtype: DType = FP16) -> Graph:
+    """ResNet-18 — a smaller variant used by tests and examples."""
+    b = GraphBuilder(f"resnet18_b{batch}", dtype)
+    x = b.input("image", (batch, image, image, 3))
+    x = _stem(b, x)
+    blocks = (2, 2, 2, 2)
+    for stage, (count, width) in enumerate(zip(blocks, _STAGE_CHANNELS), start=2):
+        for i in range(count):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            x = _basic_block(b, x, width, stride, label=f"conv{stage}_{i + 1}")
+    return _head(b, x, classes)

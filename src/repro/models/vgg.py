@@ -1,0 +1,42 @@
+"""VGG-16 (Simonyan & Zisserman) — an Ascend-Mini reference workload
+(Table 1 lists "Resnet, VGG" for drones/robots/embedded AI)."""
+
+from __future__ import annotations
+
+from ..dtypes import DType, FP16
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["build_vgg16"]
+
+_CFG = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def build_vgg16(batch: int = 1, image: int = 224, classes: int = 1000,
+                dtype: DType = FP16) -> Graph:
+    b = GraphBuilder(f"vgg16_b{batch}", dtype)
+    x = b.input("image", (batch, image, image, 3))
+    for stage, (channels, repeats) in enumerate(_CFG, start=1):
+        for i in range(repeats):
+            b.group(f"conv{stage}_{i + 1}")
+            x = b.conv2d(x, channels, kernel=3, padding=1,
+                         name=f"conv{stage}_{i + 1}")
+            x = b.relu(x)
+        b.group(f"pool{stage}")
+        x = b.pool2d(x, kernel=2, stride=2, mode="max")
+    # Classifier: 7x7x512 -> 4096 -> 4096 -> classes.
+    bsz, h, w, c = x.shape
+    from ..graph.ops import Reshape
+    from ..graph.tensor import TensorSpec
+
+    flat = TensorSpec("flatten_out", (bsz, h * w * c), x.dtype)
+    b.group("fc6")
+    b.graph.add(Reshape(name="flatten", inputs=(x,), output=flat, group="fc6"))
+    x = b.dense(flat, 4096, name="fc6")
+    x = b.relu(x)
+    b.group("fc7")
+    x = b.dense(x, 4096, name="fc7")
+    x = b.relu(x)
+    b.group("fc8")
+    x = b.dense(x, classes, name="fc8")
+    b.softmax(x)
+    return b.build()

@@ -1,0 +1,43 @@
+"""Wide & Deep recommendation model (Cheng et al.) — an Ascend-Max
+training workload (Table 1)."""
+
+from __future__ import annotations
+
+from ..dtypes import DType, FP16, INT32
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["build_wide_deep"]
+
+
+def build_wide_deep(batch: int = 512, sparse_features: int = 26,
+                    dense_features: int = 13, embed_dim: int = 16,
+                    vocab_size: int = 200_000,
+                    hidden: tuple = (1024, 512, 256),
+                    dtype: DType = FP16) -> Graph:
+    """Criteo-style Wide&Deep: embeddings + MLP deep path, linear wide path."""
+    b = GraphBuilder(f"wide_deep_b{batch}", dtype)
+    sparse = b.input("sparse_ids", (batch, sparse_features), dtype=INT32)
+    dense = b.input("dense_feats", (batch, dense_features))
+
+    b.group("embed")
+    emb = b.embedding(sparse, vocab_size, embed_dim, name="embedding")
+    from ..graph.ops import Reshape
+    from ..graph.tensor import TensorSpec
+
+    emb_flat = TensorSpec("emb_flat", (batch, sparse_features * embed_dim), dtype)
+    b.graph.add(Reshape(name="emb_reshape", inputs=(emb,), output=emb_flat,
+                        group="embed"))
+
+    b.group("deep0")
+    deep_in = b.dense(dense, sparse_features * embed_dim, name="dense_proj")
+    x = b.add(emb_flat, deep_in, name="deep_concat")
+    for i, width in enumerate(hidden, start=1):
+        b.group(f"deep{i}")
+        x = b.dense(x, width, name=f"deep_fc{i}")
+        x = b.relu(x)
+    b.group("head")
+    deep_out = b.dense(x, 1, name="deep_out")
+    wide_out = b.dense(dense, 1, name="wide_out")
+    out = b.add(deep_out, wide_out, name="logit")
+    b.activation(out, "sigmoid", name="prob")
+    return b.build()

@@ -1,0 +1,45 @@
+"""Registry mapping model names to builders (Table 1's workload matrix)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import GraphError
+from ..graph import Graph
+from .bert import BERT_BASE, BERT_LARGE, build_bert
+from .detection import build_detector, build_siamese_tracker
+from .gesture import build_gesture_net
+from .isp import build_isp_unet
+from .mobilenet import build_mobilenet_v2
+from .pointnet import build_pointnet
+from .resnet import build_resnet18, build_resnet50
+from .vgg import build_vgg16
+from .wide_deep import build_wide_deep
+
+__all__ = ["MODEL_BUILDERS", "build_model"]
+
+MODEL_BUILDERS: Dict[str, Callable[..., Graph]] = {
+    "resnet50": build_resnet50,
+    "resnet18": build_resnet18,
+    "mobilenet_v2": build_mobilenet_v2,
+    "bert-base": lambda **kw: build_bert(BERT_BASE, **kw),
+    "bert-large": lambda **kw: build_bert(BERT_LARGE, **kw),
+    "gesture": build_gesture_net,
+    "vgg16": build_vgg16,
+    "wide_deep": build_wide_deep,
+    "pointnet": build_pointnet,
+    "isp_unet": build_isp_unet,
+    "detector": build_detector,
+    "siamese": build_siamese_tracker,
+}
+
+
+def build_model(name: str, **kwargs) -> Graph:
+    """Build a zoo model by name with builder-specific kwargs."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,47 @@
+"""Area model for computing units and cores (Tables 3 and 4).
+
+The 7 nm anchors (scalar 0.04 mm2, vector 0.70 mm2, cube 2.57 mm2) solve
+the per-MAC / per-lane constants; other nodes scale quadratically with
+feature size (see :class:`~repro.config.tech.TechModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config.core_configs import CoreConfig
+from ..config.tech import TechModel, tech_by_node
+
+__all__ = ["unit_areas", "core_area_mm2", "cube_perf_density"]
+
+
+def unit_areas(config: CoreConfig, node_nm: float = 7) -> Dict[str, float]:
+    """Area (mm2) of each computing unit of a core at a process node."""
+    tech = tech_by_node(node_nm)
+    kmacs = config.cube.macs_per_cycle / 1024
+    lanes = config.vector_lanes_fp16
+    return {
+        "scalar": tech.scalar_mm2,
+        "vector": lanes * tech.vector_mm2_per_lane,
+        "cube": kmacs * tech.cube_mm2_per_kmac,
+    }
+
+
+def core_area_mm2(config: CoreConfig, node_nm: float = 7,
+                  buffers_factor: float = 1.55) -> float:
+    """Whole-core area: computing units plus buffers/control.
+
+    ``buffers_factor`` covers L1/UB/L0 SRAM and control, sized so a
+    7 nm Ascend-Max core lands near the die-photo share of the 910's
+    456 mm2 compute die (32 cores + LLC + CPUs + NoC).
+    """
+    units = unit_areas(config, node_nm)
+    return sum(units.values()) * buffers_factor
+
+
+def cube_perf_density(config: CoreConfig, node_nm: float,
+                      frequency_hz: float = None) -> float:
+    """GFLOPS/mm2 of the whole core — the Table 4 metric."""
+    freq = frequency_hz or config.frequency_hz
+    flops = config.cube.flops_per_cycle * freq
+    return flops / 1e9 / core_area_mm2(config, node_nm)

@@ -1,0 +1,70 @@
+"""PPA comparison tables (Tables 7, 8, 9): row type + ascii rendering.
+
+Competitor rows mix published specs (peak/power/area/process, which the
+paper also just cites) with *modeled* throughput from the baseline
+simulators; Ascend rows are fully modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["PpaRow", "format_table"]
+
+
+@dataclass
+class PpaRow:
+    """One chip's entry in a PPA comparison table."""
+
+    name: str
+    peak_ops: Optional[float] = None  # FLOPS or OPS
+    power_w: Optional[float] = None
+    area_mm2: Optional[float] = None
+    process_nm: Optional[float] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak_tops(self) -> Optional[float]:
+        return None if self.peak_ops is None else self.peak_ops / 1e12
+
+    @property
+    def tops_per_watt(self) -> Optional[float]:
+        if self.peak_ops is None or not self.power_w:
+            return None
+        return self.peak_ops / 1e12 / self.power_w
+
+
+def _fmt(value: Optional[float], precision: int = 1) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) >= 10:
+        return str(int(value))
+    return f"{value:.{precision}f}"
+
+
+def format_table(rows: Sequence[PpaRow], metric_names: Sequence[str] = (),
+                 title: str = "") -> str:
+    """Render a fixed-width comparison table (rows are chips, like the paper)."""
+    headers = ["chip", "peak TOPS", "power W", "area mm2", "nm"] + list(metric_names)
+    table: List[List[str]] = [headers]
+    for row in rows:
+        cells = [
+            row.name,
+            _fmt(row.peak_tops),
+            _fmt(row.power_w),
+            _fmt(row.area_mm2),
+            _fmt(row.process_nm, 0),
+        ]
+        for metric in metric_names:
+            cells.append(_fmt(row.metrics.get(metric)))
+        table.append(cells)
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(table):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Roofline utilities used by the memory-wall analysis (Table 6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..graph.workload import OpWorkload
+
+__all__ = ["arithmetic_intensity", "roofline_time_s"]
+
+
+def arithmetic_intensity(workloads: Sequence[OpWorkload]) -> float:
+    """FLOPs per byte of (weights + activations) traffic."""
+    flops = sum(2 * w.macs + w.vector_elem_passes for w in workloads)
+    traffic = sum(w.weight_bytes + w.input_bytes + w.output_bytes
+                  for w in workloads)
+    if traffic == 0:
+        raise ConfigError("workloads move no bytes; intensity undefined")
+    return flops / traffic
+
+
+def roofline_time_s(flops: float, traffic_bytes: float,
+                    peak_flops: float, mem_bw: float) -> float:
+    """Classic roofline: the slower of compute and memory streaming."""
+    if peak_flops <= 0 or mem_bw <= 0:
+        raise ConfigError("peak throughput and bandwidth must be positive")
+    return max(flops / peak_flops, traffic_bytes / mem_bw)

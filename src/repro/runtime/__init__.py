@@ -1,0 +1,21 @@
+"""Host runtime — the ACL-style API layer above the simulator.
+
+The shipped Ascend stack exposes a host runtime (device memory, streams,
+events, model execution) below the frameworks of Figure 16; this package
+provides the equivalent for the simulator:
+
+* :class:`Device` — owns a simulated core and its GM; malloc/free with a
+  real free-list allocator, h2d/d2h copies.
+* :class:`Stream` / :class:`Event` — in-order work queues with simulated
+  timestamps (Section 5.2's stream level).
+* :class:`ModelRunner` — runs a whole graph on a device: cube-friendly
+  ops (conv/dense/matmul) execute through compiled kernels on the core,
+  the rest through the reference semantics, with one parameter store.
+"""
+
+from .device import Device, DeviceBuffer
+from .stream import Event, Stream
+from .executor import ModelRunner, RunReport
+
+__all__ = ["Device", "DeviceBuffer", "Stream", "Event", "ModelRunner",
+           "RunReport"]

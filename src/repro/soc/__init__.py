@@ -1,0 +1,35 @@
+"""SoC-level integration (Section 3): NoC, shared memory, schedulers, and
+the three flagship SoC designs (Ascend 910 training, Kirin 990 5G mobile,
+Ascend 610 automotive).
+"""
+
+from .noc import MeshNoc, NocStats
+from .ring import RingNoc
+from .task_scheduler import TaskScheduler, ScheduleResult
+from .soc import AscendSoc, SocRunResult
+from .training_soc import TrainingSoc
+from .mobile_soc import MobileSoc
+from .auto_soc import AutomotiveSoc, SlamTask
+from .dvpp import Dvpp
+from .qos import MpamPartition, QosArbiter, TrafficClass
+from .dvfs import DvfsGovernor, DvfsPoint
+
+__all__ = [
+    "MeshNoc",
+    "NocStats",
+    "RingNoc",
+    "TaskScheduler",
+    "ScheduleResult",
+    "AscendSoc",
+    "SocRunResult",
+    "TrainingSoc",
+    "MobileSoc",
+    "AutomotiveSoc",
+    "SlamTask",
+    "Dvpp",
+    "MpamPartition",
+    "QosArbiter",
+    "TrafficClass",
+    "DvfsGovernor",
+    "DvfsPoint",
+]

@@ -1,0 +1,133 @@
+"""Ascend 610 — the autonomous-driving SoC (Section 3.3, Figure 14).
+
+Four dedicated mechanisms from the paper:
+
+1. low-precision inference (int8 and int4 on the cube);
+2. real-time guarantees via QoS + MPAM on the shared memory system;
+3. a Vector Core (Ascend core minus cube) with SLAM instruction
+   extensions (sort, quaternion math, clustering, ...);
+4. a safety island: lockstep CPUs on a separated ASIL-D ring NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config.core_configs import ASCEND
+from ..config.soc_configs import ASCEND_610, NocConfig, SocConfig
+from ..dtypes import DType, INT4, INT8
+from ..errors import SchedulingError
+from ..graph import Graph
+from ..graph.workload import VectorWork
+from ..models import build_resnet50
+from .dvpp import Dvpp
+from .qos import MpamPartition, QosArbiter, TrafficClass
+from .ring import RingNoc
+from .soc import DEFAULT_DEPLOYMENT_EFFICIENCY, AscendSoc, SocRunResult
+
+__all__ = ["AutomotiveSoc", "SlamTask"]
+
+_SAFETY_RING = NocConfig("ring", rows=1, cols=8, link_bits=256,
+                         link_frequency_hz=1e9)
+
+# Memory-system traffic classes of the automotive scenario.
+_CLASSES = (
+    TrafficClass("perception", priority=2, critical=True),
+    TrafficClass("slam", priority=1, critical=True),
+    TrafficClass("best_effort", priority=0),
+)
+_DEFAULT_PARTITIONS = (
+    MpamPartition("perception", min_share=0.45),
+    MpamPartition("slam", min_share=0.20),
+    MpamPartition("best_effort", min_share=0.0, max_share=0.35),
+)
+
+
+@dataclass(frozen=True)
+class SlamTask:
+    """A SLAM kernel expressed as Vector-Core work (Section 3.3 extensions)."""
+
+    name: str
+    kind: str  # sort | quaternion | cluster | linprog | stereo
+    elems: int
+
+    _PASSES = {"sort": 12, "quaternion": 4, "cluster": 8, "linprog": 10,
+               "stereo": 6}
+
+    def vector_work(self) -> VectorWork:
+        try:
+            passes = self._PASSES[self.kind]
+        except KeyError:
+            raise SchedulingError(
+                f"unknown SLAM kind {self.kind!r}; known: {sorted(self._PASSES)}"
+            ) from None
+        return VectorWork(self.elems, passes)
+
+
+class AutomotiveSoc(AscendSoc):
+    """An Ascend 610 instance with QoS/MPAM and the safety ring."""
+
+    def __init__(self, config: SocConfig = ASCEND_610,
+                 partitions: Sequence[MpamPartition] = _DEFAULT_PARTITIONS) -> None:
+        super().__init__(config)
+        self.safety_ring = RingNoc(_SAFETY_RING)
+        self.dvpp = Dvpp(decode_channels=16)
+        self.arbiter = QosArbiter(config.dram_bw, _CLASSES, partitions)
+        self.arbiter_no_mpam = QosArbiter(config.dram_bw, _CLASSES)
+
+    # -- low-precision perception -----------------------------------------------
+
+    def peak_tops(self, dtype: DType = INT8) -> float:
+        """Table 9 headline: ~160 TOPS int8 (int4 doubles it again)."""
+        return self.config.peak_ops(dtype) / 1e12
+
+    def perception_inference(self, batch: int = 8,
+                             deployment_efficiency: float = DEFAULT_DEPLOYMENT_EFFICIENCY
+                             ) -> SocRunResult:
+        """A camera-perception step (ResNet-50 backbone per frame)."""
+        return self.run_model(
+            lambda b: build_resnet50(batch=b), batch=batch,
+            deployment_efficiency=deployment_efficiency,
+        )
+
+    # -- SLAM on the Vector Core --------------------------------------------------
+
+    def slam_latency_s(self, tasks: Sequence[SlamTask]) -> float:
+        """Vector-Core time for a SLAM pipeline (no cube involved)."""
+        core = self.primary_core
+        total_cycles = 0.0
+        for task in tasks:
+            work = task.vector_work()
+            total_cycles += (
+                work.elems * work.passes * work.dtype.bytes
+                / core.vector_width_bytes
+            )
+        return total_cycles / core.frequency_hz
+
+    # -- real-time guarantees -------------------------------------------------------
+
+    def latency_under_contention(self, demands: Dict[str, float],
+                                 with_mpam: bool = True) -> Dict[str, float]:
+        """Per-class slowdown for one arbitration window."""
+        arbiter = self.arbiter if with_mpam else self.arbiter_no_mpam
+        result = arbiter.arbitrate(demands)
+        return {name: result.slowdown(name) for name in demands}
+
+    def safety_deadline_met(self, deadline_s: float,
+                            perception_s: float,
+                            slam_tasks: Sequence[SlamTask],
+                            contention_demands: Optional[Dict[str, float]] = None
+                            ) -> bool:
+        """End-to-end check: perception + SLAM within the control deadline,
+        under worst-case memory contention."""
+        slowdowns = self.latency_under_contention(
+            contention_demands or {
+                "perception": self.config.dram_bw * 0.3,
+                "slam": self.config.dram_bw * 0.1,
+                "best_effort": self.config.dram_bw * 2.0,
+            }
+        )
+        total = (perception_s * slowdowns["perception"]
+                 + self.slam_latency_s(slam_tasks) * slowdowns["slam"])
+        return total <= deadline_s

@@ -1,0 +1,79 @@
+"""Dynamic voltage and frequency scaling (Section 3.2).
+
+«The working voltage can change dynamically according to real-time
+workload intensity.»  Power follows the classic CV^2f model, so running a
+light workload at a lower point wins energy even though it takes longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["DvfsPoint", "DvfsGovernor"]
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One operating point of the NPU voltage/frequency table."""
+
+    name: str
+    voltage_v: float
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0 or self.frequency_hz <= 0:
+            raise ConfigError(f"bad DVFS point {self.name}")
+
+
+# A representative mobile NPU ladder around the Ascend-Lite 0.75 GHz
+# nominal point.
+DEFAULT_LADDER = (
+    DvfsPoint("eco", 0.55, 0.30e9),
+    DvfsPoint("low", 0.60, 0.45e9),
+    DvfsPoint("mid", 0.70, 0.60e9),
+    DvfsPoint("nominal", 0.80, 0.75e9),
+    DvfsPoint("boost", 0.90, 0.90e9),
+)
+
+
+class DvfsGovernor:
+    """Selects operating points and scales power accordingly."""
+
+    def __init__(self, nominal_power_w: float,
+                 ladder: Sequence[DvfsPoint] = DEFAULT_LADDER,
+                 nominal: str = "nominal") -> None:
+        if nominal_power_w <= 0:
+            raise ConfigError("nominal power must be positive")
+        self.ladder = sorted(ladder, key=lambda p: p.frequency_hz)
+        by_name = {p.name: p for p in self.ladder}
+        if nominal not in by_name:
+            raise ConfigError(f"no ladder point named {nominal!r}")
+        self.nominal = by_name[nominal]
+        self.nominal_power_w = nominal_power_w
+
+    def power_at(self, point: DvfsPoint) -> float:
+        """Dynamic power via P ∝ V^2 f relative to the nominal point."""
+        scale = (point.voltage_v / self.nominal.voltage_v) ** 2 * (
+            point.frequency_hz / self.nominal.frequency_hz
+        )
+        return self.nominal_power_w * scale
+
+    def select(self, required_fraction: float) -> DvfsPoint:
+        """Lowest point whose frequency covers the demanded fraction of
+        nominal throughput (the governor's steady-state decision)."""
+        if not 0 <= required_fraction:
+            raise ConfigError("required fraction must be non-negative")
+        target = required_fraction * self.nominal.frequency_hz
+        for point in self.ladder:
+            if point.frequency_hz >= target:
+                return point
+        return self.ladder[-1]
+
+    def energy_per_inference(self, point: DvfsPoint,
+                             cycles: int) -> float:
+        """Joules for a fixed-cycle workload at an operating point."""
+        seconds = cycles / point.frequency_hz
+        return self.power_at(point) * seconds

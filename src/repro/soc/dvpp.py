@@ -1,0 +1,61 @@
+"""Digital Vision Pre-Processor (Sections 3.1, 3.3).
+
+A fixed-function front end: the Ascend 910 integrates a 128-channel full-
+HD decoder so video is decoded and pre-processed on chip; the automotive
+SoC adds resize / 360-degree-stitch style operators.  The model exposes
+throughput/latency so end-to-end pipelines (decode -> preprocess -> NN)
+can be composed without leaving the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["Dvpp"]
+
+_FULL_HD_PIXELS = 1920 * 1080
+
+
+@dataclass
+class Dvpp:
+    """Decode + image-op throughput model.
+
+    Defaults correspond to the Ascend 910 figure: 128 full-HD channels at
+    30 fps of H.264/H.265 decode.
+    """
+
+    decode_channels: int = 128
+    channel_fps: float = 30.0
+    resize_pixels_per_s: float = 4e9  # fixed-function resize engine
+
+    def __post_init__(self) -> None:
+        if self.decode_channels <= 0 or self.channel_fps <= 0:
+            raise ConfigError("DVPP throughput parameters must be positive")
+
+    @property
+    def decode_frames_per_s(self) -> float:
+        return self.decode_channels * self.channel_fps
+
+    def decode_latency_s(self, frames: int = 1) -> float:
+        """Latency to decode ``frames`` full-HD frames on one channel."""
+        if frames <= 0:
+            raise ConfigError("frames must be positive")
+        return frames / self.channel_fps
+
+    def resize_time_s(self, src_w: int, src_h: int, dst_w: int, dst_h: int) -> float:
+        """Resize cost scales with the larger of src/dst pixel counts."""
+        pixels = max(src_w * src_h, dst_w * dst_h)
+        return pixels / self.resize_pixels_per_s
+
+    def stitch_time_s(self, cameras: int, cam_w: int = 1280,
+                      cam_h: int = 800) -> float:
+        """360-degree surround stitch: one warp+blend pass per camera."""
+        if cameras <= 0:
+            raise ConfigError("cameras must be positive")
+        return cameras * cam_w * cam_h / self.resize_pixels_per_s
+
+    def sustained_streams(self, fps: float = 30.0) -> int:
+        """How many live camera streams the decoder sustains at ``fps``."""
+        return int(self.decode_frames_per_s // fps)

@@ -1,0 +1,150 @@
+"""QoS and MPAM models for the automotive SoC (Section 3.3).
+
+«QoS is mainly used to avoid starvation.  MPAM manages cache capacity,
+NoC bandwidth, and memory bandwidth more fine-grained.»
+
+:class:`QosArbiter` is a time-stepped weighted arbiter over a shared
+bandwidth resource.  Without partitions it degenerates to demand-
+proportional sharing (a best-effort flood can starve latency-critical
+traffic); with :class:`MpamPartition` minimums, critical classes keep
+their floor and tail latency stays bounded — the property the paper's
+ASIL pitch rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+
+__all__ = ["TrafficClass", "MpamPartition", "QosArbiter", "ArbitrationResult"]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One requester class at the memory system."""
+
+    name: str
+    priority: int = 0  # higher wins ties
+    critical: bool = False
+
+
+@dataclass(frozen=True)
+class MpamPartition:
+    """An MPAM resource partition: guaranteed floor + optional ceiling,
+    as fractions of the shared bandwidth."""
+
+    traffic_class: str
+    min_share: float
+    max_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_share <= self.max_share <= 1:
+            raise SchedulingError(
+                f"bad partition for {self.traffic_class}: "
+                f"min {self.min_share}, max {self.max_share}"
+            )
+
+
+@dataclass
+class ArbitrationResult:
+    """Per-class outcome of a bandwidth arbitration window."""
+
+    granted: Dict[str, float]  # bytes/s actually granted
+    demands: Dict[str, float]
+
+    def slowdown(self, name: str) -> float:
+        """Demand / grant — 1.0 means the class ran at full speed."""
+        demand = self.demands[name]
+        grant = self.granted[name]
+        if demand == 0:
+            return 1.0
+        if grant == 0:
+            return float("inf")
+        return demand / grant
+
+
+class QosArbiter:
+    """Weighted bandwidth arbitration with optional MPAM partitions."""
+
+    def __init__(self, total_bandwidth: float,
+                 classes: Sequence[TrafficClass],
+                 partitions: Sequence[MpamPartition] = ()) -> None:
+        if total_bandwidth <= 0:
+            raise SchedulingError("total bandwidth must be positive")
+        self.total_bandwidth = total_bandwidth
+        self.classes = {c.name: c for c in classes}
+        self.partitions = {p.traffic_class: p for p in partitions}
+        unknown = set(self.partitions) - set(self.classes)
+        if unknown:
+            raise SchedulingError(f"partitions for unknown classes: {sorted(unknown)}")
+        floor = sum(p.min_share for p in self.partitions.values())
+        if floor > 1.0 + 1e-9:
+            raise SchedulingError(f"partition floors exceed 100%: {floor:.2f}")
+
+    def arbitrate(self, demands: Dict[str, float]) -> ArbitrationResult:
+        """Grant bandwidth for one window given per-class demand (bytes/s).
+
+        1. every partitioned class first receives min(demand, floor);
+        2. leftover bandwidth is shared demand-proportionally, weighted by
+           (1 + priority), respecting each class's ceiling.
+        """
+        unknown = set(demands) - set(self.classes)
+        if unknown:
+            raise SchedulingError(f"demand from unknown classes: {sorted(unknown)}")
+        granted = {name: 0.0 for name in demands}
+        remaining_bw = self.total_bandwidth
+        residual = dict(demands)
+
+        for name in demands:
+            part = self.partitions.get(name)
+            if part is None:
+                continue
+            floor_bw = part.min_share * self.total_bandwidth
+            take = min(residual[name], floor_bw)
+            granted[name] += take
+            residual[name] -= take
+            remaining_bw -= take
+
+        # Demand-proportional weighted sharing of what is left, iterating
+        # because ceilings can free bandwidth back up.
+        for _ in range(len(demands) + 1):
+            active = {
+                n: r for n, r in residual.items()
+                if r > 1e-9 and granted[n] < self._ceiling(n)
+            }
+            if not active or remaining_bw <= 1e-9:
+                break
+            weights = {n: (1 + self.classes[n].priority) * r
+                       for n, r in active.items()}
+            total_w = sum(weights.values())
+            distributed = 0.0
+            for name, weight in weights.items():
+                offer = remaining_bw * weight / total_w
+                take = min(offer, residual[name],
+                           self._ceiling(name) - granted[name])
+                granted[name] += take
+                residual[name] -= take
+                distributed += take
+            remaining_bw -= distributed
+            if distributed <= 1e-9:
+                break
+        return ArbitrationResult(granted=granted, demands=dict(demands))
+
+    def _ceiling(self, name: str) -> float:
+        part = self.partitions.get(name)
+        share = part.max_share if part else 1.0
+        return share * self.total_bandwidth
+
+    def worst_case_latency_factor(self, name: str,
+                                  flood_demand_factor: float = 10.0) -> float:
+        """Slowdown of ``name`` at full demand while every other class
+        floods the memory system — the certification question."""
+        demands = {}
+        for cls in self.classes.values():
+            if cls.name == name:
+                demands[cls.name] = self.total_bandwidth * 0.2
+            else:
+                demands[cls.name] = self.total_bandwidth * flood_demand_factor
+        return self.arbitrate(demands).slowdown(name)

@@ -1,0 +1,58 @@
+"""Ring NoC — the separated safety-island interconnect (Section 3.3).
+
+The automotive SoC keeps its lockstep CPUs on an ASIL-D ring, physically
+separate from the AI mesh, so CPU real-time traffic never contends with
+DNN traffic.  A ring is also what small SoCs (Kirin NPU subsystem,
+Ascend 310) use for their handful of agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.soc_configs import NocConfig
+from ..errors import SchedulingError
+
+__all__ = ["RingNoc"]
+
+
+@dataclass
+class RingNoc:
+    """A bidirectional ring with deterministic worst-case latency."""
+
+    config: NocConfig
+
+    def __post_init__(self) -> None:
+        if self.config.topology != "ring":
+            raise SchedulingError(
+                f"RingNoc needs a ring config, got {self.config.topology}"
+            )
+
+    @property
+    def nodes(self) -> int:
+        return self.config.node_count
+
+    @property
+    def link_bandwidth_bytes(self) -> float:
+        return self.config.link_bandwidth
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Shortest way around the bidirectional ring."""
+        if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
+            raise SchedulingError("ring node index out of range")
+        direct = abs(src - dst)
+        return min(direct, self.nodes - direct)
+
+    @property
+    def worst_case_hops(self) -> int:
+        return self.nodes // 2
+
+    def worst_case_latency_s(self, hop_cycles: int = 3) -> float:
+        """Deterministic bound — the property ASIL-D certification needs."""
+        return self.worst_case_hops * hop_cycles / self.config.link_frequency_hz
+
+    def transfer_time(self, nbytes: float, src: int, dst: int,
+                      hop_cycles: int = 3) -> float:
+        """Seconds to stream nbytes point-to-point on an idle ring."""
+        latency = self.hop_count(src, dst) * hop_cycles / self.config.link_frequency_hz
+        return latency + nbytes / self.link_bandwidth_bytes

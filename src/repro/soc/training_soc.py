@@ -1,0 +1,90 @@
+"""Ascend 910 — the DNN training SoC (Section 3.1, Figure 10).
+
+32 Ascend-Max cores behind a 4x6 mesh, AI LLC (4 TB/s), 1.2 TB/s of HBM.
+Besides the generic :class:`~repro.soc.soc.AscendSoc` machinery this adds
+the Table 7 throughput studies and the Section 4.1 LLC-capacity sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..config.soc_configs import ASCEND_910, SocConfig
+from ..graph import Graph
+from ..models import BERT_LARGE, build_bert, build_resnet50
+from .dvpp import Dvpp
+from .noc import MeshNoc
+from .soc import DEFAULT_DEPLOYMENT_EFFICIENCY, AscendSoc, SocRunResult
+
+__all__ = ["TrainingSoc"]
+
+
+class TrainingSoc(AscendSoc):
+    """An Ascend 910 instance (or variant with a different LLC size)."""
+
+    def __init__(self, config: SocConfig = ASCEND_910,
+                 llc_bytes_override: Optional[int] = None) -> None:
+        super().__init__(config, llc_bytes_override=llc_bytes_override)
+        self.noc = MeshNoc(config.noc)
+        self.dvpp = Dvpp() if config.has_dvpp else None
+
+    # -- Table 7 workloads --------------------------------------------------------
+
+    def resnet50_training(self, batch: int = 256,
+                          deployment_efficiency: float = DEFAULT_DEPLOYMENT_EFFICIENCY
+                          ) -> SocRunResult:
+        """ResNet-50 v1.5 training step (images/s is Table 7's metric)."""
+        return self.run_model(
+            lambda b: build_resnet50(batch=b), batch=batch, training=True,
+            deployment_efficiency=deployment_efficiency,
+        )
+
+    def bert_large_training(self, batch: int = 64, seq: int = 128,
+                            deployment_efficiency: float = DEFAULT_DEPLOYMENT_EFFICIENCY
+                            ) -> SocRunResult:
+        """BERT-Large training step (sequences/s, Table 7)."""
+        return self.run_model(
+            lambda b: build_bert(BERT_LARGE, batch=b, seq=seq), batch=batch,
+            training=True, deployment_efficiency=deployment_efficiency,
+        )
+
+    def resnet50_inference(self, batch: int = 64,
+                           deployment_efficiency: float = DEFAULT_DEPLOYMENT_EFFICIENCY
+                           ) -> SocRunResult:
+        return self.run_model(
+            lambda b: build_resnet50(batch=b), batch=batch, training=False,
+            deployment_efficiency=deployment_efficiency,
+        )
+
+    # -- Section 4.1: LLC capacity sweep ------------------------------------------
+
+    def llc_capacity_sweep(
+        self,
+        capacities_bytes: Sequence[int],
+        workload: str = "resnet50",
+        batch: Optional[int] = None,
+        compute_scale: float = 2.4,
+    ) -> List[Tuple[int, float]]:
+        """Step time at several LLC capacities on the next-gen device.
+
+        Section 4.1's 96 MB -> 720 MB comparison (ResNet-50 +1.71x, BERT
+        +1.51x) is measured on "the next generation of Ascend training
+        device" with 3D-SRAM; ``compute_scale`` models its higher per-chip
+        compute (~2.4x the 910), which is what makes the 96 MB point
+        memory-bound.  Returns (capacity, step_seconds) pairs.
+        """
+        if batch is None:
+            batch = 256 if workload == "resnet50" else 384
+        results: List[Tuple[int, float]] = []
+        for capacity in capacities_bytes:
+            soc = TrainingSoc(self.config, llc_bytes_override=capacity)
+            if workload == "resnet50":
+                result = soc.resnet50_training(batch=batch)
+            elif workload == "bert":
+                result = soc.bert_large_training(batch=batch)
+            else:
+                raise ValueError(f"unknown sweep workload {workload!r}")
+            compute = (result.compute_seconds
+                       / result.deployment_efficiency / compute_scale)
+            results.append((capacity, max(compute, result.memory_seconds)))
+        return results

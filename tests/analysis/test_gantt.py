@@ -1,0 +1,43 @@
+"""Gantt renderer tests."""
+
+import pytest
+
+from repro.analysis import render_gantt
+from repro.compiler import lower_gemm
+from repro.config import ASCEND_MAX
+from repro.core import CostModel, ExecutionTrace
+from repro.core.engine import schedule
+
+
+@pytest.fixture(scope="module")
+def trace():
+    prog = lower_gemm(256, 256, 256, ASCEND_MAX, tag="t")
+    return schedule(prog, CostModel(ASCEND_MAX))
+
+
+class TestGantt:
+    def test_renders_all_active_pipes(self, trace):
+        art = render_gantt(trace, width=80)
+        for glyph in ("M", "V", "1", "2", "3"):
+            assert glyph in art
+
+    def test_window_slices(self, trace):
+        full = render_gantt(trace, width=60)
+        head = render_gantt(trace, width=60,
+                            window=(0, trace.total_cycles // 4))
+        assert full != head
+        assert "cycles [0," in head
+
+    def test_empty_trace(self):
+        assert "empty" in render_gantt(ExecutionTrace())
+
+    def test_bad_window_rejected(self, trace):
+        with pytest.raises(ValueError):
+            render_gantt(trace, window=(100, 50))
+
+    def test_rows_are_fixed_width(self, trace):
+        art = render_gantt(trace, width=50)
+        body_lines = [l for l in art.splitlines() if "|" in l]
+        widths = {l.index("|", 6) - l.index("|") for l in body_lines}
+        # every pipe row has the same 50-column body
+        assert len({l.count("|") for l in body_lines}) == 1

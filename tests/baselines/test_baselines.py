@@ -1,0 +1,99 @@
+"""Baseline-model tests: the architectural mechanisms must emerge."""
+
+import pytest
+
+from repro.baselines import (
+    CpuModel,
+    DataflowAccelerator,
+    NVIDIA_V100,
+    SystolicArray,
+    TESLA_FSD,
+    TPU_V3,
+    XEON_8180,
+)
+from repro.errors import SchedulingError
+from repro.graph.workload import GemmWork, OpWorkload, VectorWork
+from repro.models import build_model, training_workloads
+
+
+def _workloads(name, **kwargs):
+    return [w for _, w in build_model(name, **kwargs).grouped_workloads()]
+
+
+class TestSystolic:
+    def test_fill_drain_hurts_small_m(self):
+        """The paper's core claim: small networks underutilize systolic
+        arrays because of prologue/epilogue latency."""
+        big = TPU_V3.gemm_utilization(4096, 1024, 1024)
+        small = TPU_V3.gemm_utilization(16, 1024, 1024)
+        assert big > 0.7
+        assert small < 0.15
+
+    def test_peak_matches_tpu_v3(self):
+        assert TPU_V3.peak_ops == pytest.approx(106e12, rel=0.2)
+
+    def test_interrupt_penalty_charged(self):
+        work = [OpWorkload(name="l", gemms=(GemmWork(256, 256, 256),),
+                           vector=(VectorWork(1000, 1),))] * 10
+        no_pen = SystolicArray("x", 128, 128, 4, 1e9, 1e12, 1e11,
+                               interrupt_penalty_cycles=0)
+        with_pen = SystolicArray("x", 128, 128, 4, 1e9, 1e12, 1e11,
+                                 interrupt_penalty_cycles=10_000)
+        assert with_pen.workload_seconds(work) > no_pen.workload_seconds(work)
+
+    def test_fsd_small_net_poor_utilization(self):
+        # Section 6.3: FSD "suffers from massive bubbles ... during
+        # processing small-scale neural networks".
+        assert TESLA_FSD.gemm_utilization(8, 64, 64) < 0.05
+
+
+class TestSimtGpu:
+    def test_peak_near_125_tflops(self):
+        assert NVIDIA_V100.peak_ops == pytest.approx(125e12, rel=0.05)
+
+    def test_reuse_caps_sustained_rate(self):
+        assert NVIDIA_V100.sustained_macs_per_s() < NVIDIA_V100.peak_macs_per_s
+
+    def test_tile_quantization_penalizes_small_gemms(self):
+        t_small = NVIDIA_V100.gemm_seconds(8, 8, 8)
+        t_native = NVIDIA_V100.gemm_seconds(64, 64, 64)
+        # Both quantize to the same 64-tile, so times are similar even
+        # though the small GEMM does 1/512 the work.
+        assert t_small > 0.5 * t_native
+
+    def test_resnet_training_throughput_band(self):
+        """V100 MLPerf-class ResNet-50 training is ~1058 img/s (Table 7)."""
+        work = [w for _, w in training_workloads(build_model("resnet50",
+                                                             batch=32))]
+        imgs_per_s = 32 / NVIDIA_V100.workload_seconds(work)
+        assert 600 < imgs_per_s < 2000
+
+
+class TestCpu:
+    def test_peak_is_papers_1_5_tflops(self):
+        assert XEON_8180.peak_flops == pytest.approx(1.5e12, rel=0.03)
+
+    def test_orders_of_magnitude_slower_than_npu(self):
+        work = [w for _, w in training_workloads(build_model("resnet50",
+                                                             batch=8))]
+        imgs = 8 / XEON_8180.workload_seconds(work)
+        assert imgs < 100  # vs ~2000 on the 910
+
+
+class TestDataflow:
+    def test_great_throughput_at_steady_state(self):
+        work = _workloads("resnet50", batch=1)
+        accel = DataflowAccelerator()
+        t_batch = accel.batch_seconds(work, batch=256)
+        assert 256 / t_batch > 5000  # excellent when fully configured
+
+    def test_single_inference_latency_penalized(self):
+        work = _workloads("resnet50", batch=1)
+        accel = DataflowAccelerator()
+        assert accel.single_inference_latency_s(work) \
+            > 10 * accel.batch_seconds(work, batch=1, reconfigured=False)
+
+    def test_sync_training_refused(self):
+        accel = DataflowAccelerator()
+        with pytest.raises(SchedulingError, match="synchronous training"):
+            accel.training_step_seconds([], batch=32)

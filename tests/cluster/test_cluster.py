@@ -1,0 +1,104 @@
+"""Cluster tests: topology, collectives, distributed training."""
+
+import pytest
+
+from repro.cluster import (
+    Ascend910Server,
+    DataParallelTrainer,
+    FatTreeCluster,
+    allreduce_seconds,
+    hierarchical_allreduce_seconds,
+)
+from repro.errors import ConfigError, SchedulingError
+from repro.soc import TrainingSoc
+
+
+class TestTopology:
+    def test_server_has_8_chips(self):
+        server = Ascend910Server()
+        assert server.chips == 8
+        assert server.intra_group_bw == pytest.approx(30e9)  # HCCS
+        assert server.inter_group_bw == pytest.approx(32e9)  # PCIe
+
+    def test_cluster_2048_chips(self):
+        cluster = FatTreeCluster()
+        assert cluster.chips == 2048
+        assert cluster.peak_flops_fp16() == pytest.approx(512e15, rel=0.05)
+
+    def test_link_is_100_gbps(self):
+        assert FatTreeCluster().link_bw == pytest.approx(12.5e9)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert allreduce_seconds(1e9, 1, 30e9) == 0.0
+
+    def test_ring_volume_formula(self):
+        # 2 ranks: each moves exactly the buffer once.
+        t2 = allreduce_seconds(30e9, 2, 30e9)
+        assert t2 == pytest.approx(1.0, rel=0.01)
+
+    def test_more_ranks_approach_2x(self):
+        t2 = allreduce_seconds(1e9, 2, 30e9)
+        t64 = allreduce_seconds(1e9, 64, 30e9)
+        assert t64 > t2
+        assert t64 < 2.5 * t2
+
+    def test_hierarchical_uses_fast_links_in_group(self):
+        cluster = FatTreeCluster()
+        flat_over_slow = allreduce_seconds(1e9, 4, cluster.link_bw)
+        hier = hierarchical_allreduce_seconds(1e9, 4, cluster)
+        assert hier < flat_over_slow
+
+    def test_hierarchical_monotone_in_scale(self):
+        cluster = FatTreeCluster()
+        t8 = hierarchical_allreduce_seconds(51e6, 8, cluster)
+        t256 = hierarchical_allreduce_seconds(51e6, 256, cluster)
+        t2048 = hierarchical_allreduce_seconds(51e6, 2048, cluster)
+        assert t8 < t256 < t2048
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigError):
+            allreduce_seconds(1e9, 0, 30e9)
+
+
+class TestDataParallelTraining:
+    @pytest.fixture(scope="class")
+    def trainer(self):
+        return DataParallelTrainer()
+
+    @pytest.fixture(scope="class")
+    def soc(self):
+        return TrainingSoc()
+
+    def test_256_chips_under_2_minutes(self, trainer, soc):
+        """Paper headline: ResNet-50/ImageNet in <83 s on 256 chips; the
+        coarse model should land in the same sub-2-minute regime."""
+        ttt = trainer.resnet50_time_to_train(256, soc=soc)
+        assert ttt.total_seconds < 180
+
+    def test_throughput_scales_with_chips(self, trainer, soc):
+        t64 = trainer.resnet50_time_to_train(64, soc=soc)
+        t256 = trainer.resnet50_time_to_train(256, soc=soc)
+        assert t256.images_per_second > 3 * t64.images_per_second
+
+    def test_scaling_efficiency_degrades_gracefully(self, trainer, soc):
+        curve = trainer.scaling_curve([8, 256, 2048], soc=soc)
+        effs = [p.scaling_efficiency for p in curve]
+        assert effs[0] >= effs[1] >= effs[2]
+        assert effs[2] > 0.5  # still efficient at full cluster
+
+    def test_chips_bounded_by_cluster(self, trainer, soc):
+        with pytest.raises(SchedulingError):
+            trainer.resnet50_time_to_train(4096, soc=soc)
+
+    def test_overlap_reduces_step_time(self, soc):
+        eager = DataParallelTrainer(overlap_fraction=0.0)
+        overlapped = DataParallelTrainer(overlap_fraction=0.9)
+        t_e = eager.resnet50_time_to_train(256, soc=soc)
+        t_o = overlapped.resnet50_time_to_train(256, soc=soc)
+        assert t_o.step_seconds < t_e.step_seconds
+
+    def test_bad_overlap_rejected(self):
+        with pytest.raises(SchedulingError):
+            DataParallelTrainer(overlap_fraction=1.5)

@@ -1,0 +1,158 @@
+"""Programming-model tier tests: TBE (L3), TIK (L2), CCE (L1)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CceAssembler, TbeExpr, TbeProgram, TikKernel
+from repro.compiler import lower_gemm
+from repro.config import ASCEND_MAX, ASCEND_TINY
+from repro.core import AscendCore
+from repro.dtypes import FP16
+from repro.errors import CompileError, IsaError
+from repro.isa import MemSpace, Pipe, Region, VectorOpcode
+
+
+class TestTbe:
+    def test_arithmetic_chain(self, max_core, rng):
+        x = TbeExpr.placeholder("x", (512,))
+        y = ((x * 2.0) + 1.0).relu()
+        data = rng.standard_normal(512).astype(np.float16)
+        out = TbeProgram(y, ASCEND_MAX).run(max_core, {"x": data})
+        ref = np.maximum(data.astype(np.float32) * 2 + 1, 0)
+        assert np.allclose(out.astype(np.float32), ref, rtol=1e-2, atol=1e-2)
+
+    def test_two_placeholders(self, max_core, rng):
+        a = TbeExpr.placeholder("a", (256,))
+        b = TbeExpr.placeholder("b", (256,))
+        expr = (a - b).sigmoid()
+        fa = rng.standard_normal(256).astype(np.float16)
+        fb = rng.standard_normal(256).astype(np.float16)
+        out = TbeProgram(expr, ASCEND_MAX).run(max_core, {"a": fa, "b": fb})
+        ref = 1 / (1 + np.exp(-(fa.astype(np.float32) - fb.astype(np.float32))))
+        assert np.allclose(out.astype(np.float32), ref, atol=2e-2)
+
+    def test_shape_mismatch_rejected(self):
+        a = TbeExpr.placeholder("a", (8,))
+        b = TbeExpr.placeholder("b", (16,))
+        with pytest.raises(CompileError, match="shape mismatch"):
+            a + b
+
+    def test_oversized_tensor_rejected(self):
+        x = TbeExpr.placeholder("x", (10_000_000,))
+        with pytest.raises(CompileError, match="UB"):
+            TbeProgram(x.relu(), ASCEND_MAX)
+
+    def test_missing_feed_rejected(self, max_core):
+        x = TbeExpr.placeholder("x", (16,))
+        with pytest.raises(CompileError, match="missing feeds"):
+            TbeProgram(x.relu(), ASCEND_MAX).run(max_core, {})
+
+    def test_division_by_scalar(self, max_core, rng):
+        x = TbeExpr.placeholder("x", (64,))
+        data = (rng.standard_normal(64) + 3).astype(np.float16)
+        out = TbeProgram(x / 4.0, ASCEND_MAX).run(max_core, {"x": data})
+        assert np.allclose(out.astype(np.float32),
+                           data.astype(np.float32) / 4, rtol=1e-2)
+
+
+class TestTik:
+    def test_explicit_kernel_runs(self, max_core, rng):
+        kern = TikKernel("scale2", ASCEND_MAX)
+        ub = kern.alloc(MemSpace.UB, (128,), FP16)
+        kern.data_move(ub, kern.gm((128,), FP16, offset=0))
+        kern.sync(Pipe.MTE2, Pipe.V)
+        kern.vec(VectorOpcode.MULS, ub, ub, scalar=2.0)
+        kern.sync(Pipe.V, Pipe.MTE3)
+        kern.data_move(kern.gm((128,), FP16, offset=1024), ub)
+        prog = kern.build()
+        data = rng.standard_normal(128).astype(np.float16)
+        max_core.memory.write(Region(MemSpace.GM, 0, (128,), FP16), data)
+        max_core.run(prog)
+        out = max_core.memory.read(Region(MemSpace.GM, 1024, (128,), FP16))
+        assert np.allclose(out.astype(np.float32),
+                           data.astype(np.float32) * 2, rtol=1e-2)
+
+    def test_allocator_enforces_capacity(self):
+        kern = TikKernel("big", ASCEND_TINY)
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            kern.alloc(MemSpace.UB, (1024 * 1024,), FP16)
+
+    def test_unbalanced_flags_rejected_at_build(self):
+        kern = TikKernel("bad", ASCEND_MAX)
+        kern.set_flag(Pipe.M, Pipe.V, 0)
+        with pytest.raises(CompileError, match="unbalanced"):
+            kern.build()
+
+    def test_wait_without_set_rejected_immediately(self):
+        kern = TikKernel("bad", ASCEND_MAX)
+        with pytest.raises(CompileError, match="no prior set_flag"):
+            kern.wait_flag(Pipe.M, Pipe.V, 0)
+
+    def test_gm_alloc_rejected(self):
+        kern = TikKernel("k", ASCEND_MAX)
+        with pytest.raises(CompileError, match="gm"):
+            kern.alloc(MemSpace.GM, (4,), FP16)
+
+    def test_for_range(self):
+        kern = TikKernel("k", ASCEND_MAX)
+        assert list(kern.for_range(3)) == [0, 1, 2]
+        with pytest.raises(CompileError):
+            kern.for_range(0)
+
+
+class TestCce:
+    def test_roundtrip_compiled_gemm(self):
+        asm = CceAssembler()
+        prog = lower_gemm(128, 96, 64, ASCEND_MAX, tag="t")
+        text = asm.disassemble(prog)
+        back = asm.assemble(text, name=prog.name)
+        assert len(back) == len(prog)
+        for orig, re in zip(prog, back):
+            assert type(orig) is type(re)
+            assert orig.pipe is re.pipe
+
+    def test_roundtrip_preserves_semantics(self, max_core, rng):
+        """Assembled text must compute the same result."""
+        from repro.compiler.lowering import GemmLayout
+
+        layout = GemmLayout(0, 65536, 131072)
+        prog = lower_gemm(32, 48, 24, ASCEND_MAX, layout=layout)
+        text = CceAssembler().disassemble(prog)
+        back = CceAssembler().assemble(text)
+        a = rng.standard_normal((32, 48)).astype(np.float16)
+        b = rng.standard_normal((48, 24)).astype(np.float16)
+        max_core.memory.write(Region(MemSpace.GM, 0, (32, 48), FP16), a)
+        max_core.memory.write(Region(MemSpace.GM, 65536, (48, 24), FP16), b)
+        max_core.run(back)
+        out = max_core.memory.read(Region(MemSpace.GM, 131072, (32, 24), FP16))
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, atol=2e-2, rtol=2e-2)
+
+    def test_handwritten_program(self):
+        text = """
+        # stage and scale
+        copy L1@0:64x32:fp16 GM@0:64x32:fp16
+        set_flag MTE2 MTE1 0
+        wait_flag MTE2 MTE1 0
+        copy L0A@0:64x32:fp16 L1@0:64x32:fp16
+        scalar nop 2
+        barrier M
+        """
+        prog = CceAssembler().assemble(text)
+        assert len(prog) == 6
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(IsaError, match="unknown mnemonic"):
+            CceAssembler().assemble("fma UB@0:4:fp16")
+
+    def test_bad_region_rejected(self):
+        with pytest.raises(IsaError, match="cannot parse region"):
+            CceAssembler().assemble("copy UB:broken GM@0:4:fp16")
+
+    def test_pitch_roundtrips(self):
+        text = "copy L1@0:4x8:fp16 GM@0:4x8:fp16:pitch=256"
+        prog = CceAssembler().assemble(text)
+        assert prog[0].src.pitch == 256
+        assert "pitch=256" in CceAssembler().disassemble(prog)

@@ -1,0 +1,62 @@
+"""Property-based tests on the auto-tiling search."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import choose_tiling, legal_tilings, lower_gemm
+from repro.compiler.lowering import GemmLayout
+from repro.config import ASCEND_LITE, ASCEND_MAX, ASCEND_TINY
+from repro.core import AscendCore
+from repro.dtypes import FP16, INT8
+from repro.isa import MemSpace, Region
+
+_dims = st.integers(min_value=1, max_value=3000)
+
+
+class TestTilingProperties:
+    @given(_dims, _dims, _dims)
+    @settings(max_examples=40, deadline=None)
+    def test_choice_is_always_legal(self, m, k, n):
+        tiling = choose_tiling(m, k, n, ASCEND_MAX)
+        assert tiling in legal_tilings(m, k, n, ASCEND_MAX)
+
+    @given(_dims, _dims, _dims)
+    @settings(max_examples=40, deadline=None)
+    def test_tiles_cover_problem(self, m, k, n):
+        tiling = choose_tiling(m, k, n, ASCEND_MAX)
+        assert tiling.tm >= 1 and tiling.tk >= 1 and tiling.tn >= 1
+        assert tiling.k_stage <= max(k, tiling.tk)
+
+    @given(st.integers(1, 1200), st.integers(1, 1200), st.integers(1, 600))
+    @settings(max_examples=15, deadline=None)
+    def test_lite_and_tiny_always_find_tilings(self, m, k, n):
+        assert choose_tiling(m, k, n, ASCEND_LITE, FP16) is not None
+        assert choose_tiling(m, k, n, ASCEND_TINY, INT8) is not None
+
+
+class TestLoweringProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=8, deadline=None)
+    def test_compiled_gemm_matches_numpy_random_shapes(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 130))
+        k = int(rng.integers(1, 130))
+        n = int(rng.integers(1, 80))
+        a = (rng.standard_normal((m, k)) * 0.3).astype(np.float16)
+        b = (rng.standard_normal((k, n)) * 0.3).astype(np.float16)
+        core = AscendCore(ASCEND_MAX)
+        layout = GemmLayout(0, 2 ** 20, 2 ** 21)
+        prog = lower_gemm(m, k, n, ASCEND_MAX, layout=layout)
+        core.memory.write(Region(MemSpace.GM, 0, (m, k), FP16), a)
+        core.memory.write(Region(MemSpace.GM, 2 ** 20, (k, n), FP16), b)
+        core.run(prog)
+        out = core.memory.read(Region(MemSpace.GM, 2 ** 21, (m, n), FP16))
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, atol=5e-2, rtol=5e-2)
+
+    @given(st.integers(16, 600), st.integers(16, 600), st.integers(16, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_programs_always_validate(self, m, k, n):
+        prog = lower_gemm(m, k, n, ASCEND_MAX, tag="p")
+        prog.validate(ASCEND_MAX)

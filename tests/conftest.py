@@ -1,0 +1,60 @@
+"""Shared fixtures: cores, RNG, and cached compiled models.
+
+Model compilation is the expensive part of the suite; session-scoped
+fixtures compile each (model, config) pair once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import GraphEngine
+from repro.config import ASCEND, ASCEND_LITE, ASCEND_MAX, ASCEND_TINY
+from repro.core import AscendCore
+from repro.models import build_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def max_core() -> AscendCore:
+    return AscendCore(ASCEND_MAX)
+
+
+@pytest.fixture
+def lite_core() -> AscendCore:
+    return AscendCore(ASCEND_LITE)
+
+
+@pytest.fixture
+def tiny_core() -> AscendCore:
+    return AscendCore(ASCEND_TINY)
+
+
+@pytest.fixture(scope="session")
+def max_engine() -> GraphEngine:
+    return GraphEngine(ASCEND_MAX)
+
+
+@pytest.fixture(scope="session")
+def ascend_engine() -> GraphEngine:
+    return GraphEngine(ASCEND)
+
+
+@pytest.fixture(scope="session")
+def resnet50_compiled(ascend_engine):
+    return ascend_engine.compile_graph(build_model("resnet50", batch=1))
+
+
+@pytest.fixture(scope="session")
+def mobilenet_compiled(max_engine):
+    return max_engine.compile_graph(build_model("mobilenet_v2", batch=1))
+
+
+@pytest.fixture(scope="session")
+def bert_base_compiled(max_engine):
+    return max_engine.compile_graph(build_model("bert-base", batch=1, seq=128))

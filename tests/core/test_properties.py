@@ -1,0 +1,111 @@
+"""Property-based tests on the scheduling engine and cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ASCEND_MAX
+from repro.core import AscendCore, CostModel
+from repro.core.engine import schedule
+from repro.dtypes import FP16, FP32
+from repro.isa import (
+    CopyInstr,
+    CubeMatmul,
+    MemSpace,
+    Pipe,
+    Program,
+    Region,
+    ScalarInstr,
+    SetFlag,
+    WaitFlag,
+)
+
+_COSTS = CostModel(ASCEND_MAX)
+
+
+def _random_program(rng: np.random.Generator, n: int) -> Program:
+    """A random but legal program: payload instructions plus properly
+    paired producer->consumer flags."""
+    instrs = []
+    pipes = [Pipe.M, Pipe.V, Pipe.MTE1, Pipe.MTE2, Pipe.S]
+    for i in range(n):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            instrs.append(CubeMatmul(
+                a=Region(MemSpace.L0A, 0, (16, 16), FP16),
+                b=Region(MemSpace.L0B, 0, (16, 16), FP16),
+                c=Region(MemSpace.L0C, 0, (16, 16), FP32),
+            ))
+        elif kind == 1:
+            instrs.append(CopyInstr(
+                dst=Region(MemSpace.L1, 0, (64,), FP16),
+                src=Region(MemSpace.GM, 0, (64,), FP16),
+            ))
+        else:
+            instrs.append(ScalarInstr(op="nop", cycles=int(rng.integers(1, 5))))
+        if rng.random() < 0.3:
+            src, dst = rng.choice(len(pipes), size=2, replace=False)
+            instrs.append(SetFlag(src_pipe=pipes[src], dst_pipe=pipes[dst],
+                                  event_id=int(rng.integers(0, 4))))
+            instrs.append(WaitFlag(src_pipe=pipes[src], dst_pipe=pipes[dst],
+                                   event_id=instrs[-1].event_id))
+    return Program(instrs)
+
+
+class TestEngineInvariants:
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_every_event_scheduled_once(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng, n)
+        trace = schedule(program, _COSTS)
+        assert len(trace.events) == len(program)
+        assert sorted(e.index for e in trace.events) == list(range(len(program)))
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_pipe_order_preserved(self, seed, n):
+        rng = np.random.default_rng(seed)
+        trace = schedule(_random_program(rng, n), _COSTS)
+        by_pipe = {}
+        for e in sorted(trace.events, key=lambda e: e.index):
+            prev = by_pipe.get(e.pipe)
+            if prev is not None:
+                assert e.start >= prev  # in-order within a pipe
+            by_pipe[e.pipe] = e.end
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_appending_work_never_reduces_makespan(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng, n)
+        base = schedule(program, _COSTS).total_cycles
+        extended = Program(list(program.instructions) + [
+            ScalarInstr(op="tail", cycles=1)
+        ])
+        assert schedule(extended, _COSTS).total_cycles >= base
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_costs_are_deterministic(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng, n)
+        t1 = schedule(program, _COSTS)
+        t2 = schedule(program, _COSTS)
+        assert [(e.start, e.end) for e in t1.events] \
+            == [(e.start, e.end) for e in t2.events]
+
+
+class TestFunctionalDeterminism:
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=10, deadline=None)
+    def test_matmul_deterministic(self, seed):
+        from repro.compiler import matmul_op
+
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((32, 48)).astype(np.float16)
+        b = rng.standard_normal((48, 16)).astype(np.float16)
+        c1, _ = matmul_op(AscendCore(ASCEND_MAX), a, b)
+        c2, _ = matmul_op(AscendCore(ASCEND_MAX), a, b)
+        assert np.array_equal(c1, c2)

@@ -1,0 +1,59 @@
+"""ExecutionTrace query tests beyond the engine basics."""
+
+import pytest
+
+from repro.config import ASCEND_MAX
+from repro.core import CostModel
+from repro.core.engine import schedule
+from repro.dtypes import FP16
+from repro.isa import CopyInstr, MemSpace, Pipe, Program, Region, ScalarInstr
+
+
+@pytest.fixture
+def traced():
+    prog = Program([
+        CopyInstr(dst=Region(MemSpace.L1, 0, (64,), FP16),
+                  src=Region(MemSpace.GM, 0, (64,), FP16), tag="load"),
+        CopyInstr(dst=Region(MemSpace.L0A, 0, (64,), FP16),
+                  src=Region(MemSpace.L1, 0, (64,), FP16), tag="feed"),
+        ScalarInstr(op="nop", cycles=2, tag="ctrl"),
+        CopyInstr(dst=Region(MemSpace.GM, 0, (64,), FP16),
+                  src=Region(MemSpace.UB, 0, (64,), FP16), tag="store"),
+    ])
+    return schedule(prog, CostModel(ASCEND_MAX))
+
+
+class TestTraceQueries:
+    def test_tags_all_present(self, traced):
+        # Events are causally ordered; parallel pipes may interleave tags,
+        # but every tag appears exactly once.
+        assert set(traced.tags()) == {"load", "feed", "ctrl", "store"}
+        assert len(traced.tags()) == 4
+
+    def test_span_covers_tag(self, traced):
+        start, end = traced.span("load")
+        assert 0 <= start < end
+
+    def test_span_of_missing_tag_is_zero(self, traced):
+        assert traced.span("missing") == (0, 0)
+
+    def test_busy_cycles_filtered_by_tag(self, traced):
+        assert traced.busy_cycles(Pipe.MTE2, tag="load") > 0
+        assert traced.busy_cycles(Pipe.MTE2, tag="store") == 0
+
+    def test_per_tag_busy(self, traced):
+        busy = traced.per_tag_busy(Pipe.MTE1)
+        assert set(busy) == {"feed"}
+
+    def test_gm_traffic_split(self, traced):
+        read, written = traced.gm_traffic_bytes()
+        assert read == 128  # 64 fp16 loaded
+        assert written == 128  # 64 fp16 stored
+
+    def test_moved_bytes_by_route(self, traced):
+        assert traced.moved_bytes(MemSpace.L1, MemSpace.L0A) == 128
+        assert traced.moved_bytes(MemSpace.L0A, MemSpace.L1) == 0
+
+    def test_utilization_bounds(self, traced):
+        for pipe in Pipe:
+            assert 0.0 <= traced.utilization(pipe) <= 1.0

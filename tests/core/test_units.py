@@ -1,0 +1,231 @@
+"""Functional-unit tests: cube, vector, MTE numerics."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND_MAX
+from repro.core import AscendCore
+from repro.core.mte import im2col_array
+from repro.dtypes import FP16, FP32, INT8, INT32
+from repro.isa import (
+    CopyInstr,
+    CubeMatmul,
+    DecompressInstr,
+    Img2ColInstr,
+    MemSpace,
+    Program,
+    Region,
+    TransposeInstr,
+    VectorInstr,
+    VectorOpcode,
+)
+from repro.memory.zvc import zvc_compress
+
+
+@pytest.fixture
+def core():
+    return AscendCore(ASCEND_MAX)
+
+
+def _run(core, instrs):
+    core.run(Program(list(instrs)), validate=False)
+
+
+class TestCubeFunctional:
+    def test_fp16_matmul_fp32_accumulate(self, core, rng):
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 16)).astype(np.float16)
+        ra = Region(MemSpace.L0A, 0, (16, 16), FP16)
+        rb = Region(MemSpace.L0B, 0, (16, 16), FP16)
+        rc = Region(MemSpace.L0C, 0, (16, 16), FP32)
+        core.memory.write(ra, a)
+        core.memory.write(rb, b)
+        _run(core, [CubeMatmul(a=ra, b=rb, c=rc)])
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(core.memory.read(rc), ref, atol=1e-3)
+
+    def test_accumulate_adds(self, core, rng):
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 16)).astype(np.float16)
+        ra = Region(MemSpace.L0A, 0, (16, 16), FP16)
+        rb = Region(MemSpace.L0B, 0, (16, 16), FP16)
+        rc = Region(MemSpace.L0C, 0, (16, 16), FP32)
+        core.memory.write(ra, a)
+        core.memory.write(rb, b)
+        _run(core, [CubeMatmul(a=ra, b=rb, c=rc),
+                    CubeMatmul(a=ra, b=rb, c=rc, accumulate=True)])
+        ref = 2 * (a.astype(np.float32) @ b.astype(np.float32))
+        assert np.allclose(core.memory.read(rc), ref, atol=1e-2)
+
+    def test_int8_matmul_int32(self, core, rng):
+        a = rng.integers(-100, 100, (16, 32)).astype(np.int8)
+        b = rng.integers(-100, 100, (32, 16)).astype(np.int8)
+        ra = Region(MemSpace.L0A, 0, (16, 32), INT8)
+        rb = Region(MemSpace.L0B, 0, (32, 16), INT8)
+        rc = Region(MemSpace.L0C, 0, (16, 16), INT32)
+        core.memory.write(ra, a)
+        core.memory.write(rb, b)
+        _run(core, [CubeMatmul(a=ra, b=rb, c=rc)])
+        ref = a.astype(np.int32) @ b.astype(np.int32)
+        assert np.array_equal(core.memory.read(rc), ref)
+
+
+class TestVectorFunctional:
+    def _ub(self, offset, n=64, dtype=FP16):
+        return Region(MemSpace.UB, offset, (n,), dtype)
+
+    def test_elementwise_ops(self, core, rng):
+        x = rng.standard_normal(64).astype(np.float16)
+        y = rng.standard_normal(64).astype(np.float16)
+        rx, ry, rz = self._ub(0), self._ub(128), self._ub(256)
+        core.memory.write(rx, x)
+        core.memory.write(ry, y)
+        for op, ref_fn in [
+            (VectorOpcode.ADD, np.add),
+            (VectorOpcode.SUB, np.subtract),
+            (VectorOpcode.MUL, np.multiply),
+            (VectorOpcode.MAX, np.maximum),
+            (VectorOpcode.MIN, np.minimum),
+        ]:
+            _run(core, [VectorInstr(op=op, dst=rz, srcs=(rx, ry))])
+            ref = ref_fn(x.astype(np.float32), y.astype(np.float32))
+            assert np.allclose(core.memory.read(rz).astype(np.float32), ref,
+                               rtol=1e-2), op
+
+    def test_transcendentals(self, core, rng):
+        x = (rng.random(64).astype(np.float16) + 0.5)
+        rx, rz = self._ub(0), self._ub(128)
+        core.memory.write(rx, x)
+        for op, ref_fn in [
+            (VectorOpcode.EXP, np.exp),
+            (VectorOpcode.LOG, np.log),
+            (VectorOpcode.SQRT, np.sqrt),
+            (VectorOpcode.RECIP, lambda v: 1.0 / v),
+            (VectorOpcode.TANH, np.tanh),
+            (VectorOpcode.SIGMOID, lambda v: 1 / (1 + np.exp(-v))),
+        ]:
+            _run(core, [VectorInstr(op=op, dst=rz, srcs=(rx,))])
+            ref = ref_fn(x.astype(np.float32))
+            assert np.allclose(core.memory.read(rz).astype(np.float32), ref,
+                               rtol=2e-2), op
+
+    def test_relu_and_scalar_ops(self, core):
+        x = np.linspace(-2, 2, 64).astype(np.float16)
+        rx, rz = self._ub(0), self._ub(128)
+        core.memory.write(rx, x)
+        _run(core, [VectorInstr(op=VectorOpcode.RELU, dst=rz, srcs=(rx,))])
+        assert core.memory.read(rz).min() >= 0
+        _run(core, [VectorInstr(op=VectorOpcode.MULS, dst=rz, srcs=(rx,),
+                                scalar=3.0)])
+        assert np.allclose(core.memory.read(rz).astype(np.float32),
+                           x.astype(np.float32) * 3, rtol=1e-2)
+
+    def test_reductions(self, core, rng):
+        x = rng.standard_normal((8, 32)).astype(np.float16)
+        rx = Region(MemSpace.UB, 0, (8, 32), FP16)
+        rsum = Region(MemSpace.UB, 1024, (8,), FP16)
+        core.memory.write(rx, x)
+        _run(core, [VectorInstr(op=VectorOpcode.REDUCE_SUM, dst=rsum,
+                                srcs=(rx,))])
+        assert np.allclose(core.memory.read(rsum).astype(np.float32),
+                           x.astype(np.float32).sum(axis=1), atol=0.05)
+        _run(core, [VectorInstr(op=VectorOpcode.REDUCE_MAX, dst=rsum,
+                                srcs=(rx,))])
+        assert np.allclose(core.memory.read(rsum).astype(np.float32),
+                           x.astype(np.float32).max(axis=1), rtol=1e-2)
+
+    def test_quantize_dequantize(self, core, rng):
+        x = rng.standard_normal(64).astype(np.float16)
+        rx = self._ub(0)
+        rq = Region(MemSpace.UB, 128, (64,), INT8)
+        rd = self._ub(256)
+        core.memory.write(rx, x)
+        _run(core, [
+            VectorInstr(op=VectorOpcode.QUANTIZE, dst=rq, srcs=(rx,),
+                        scalar=0.05),
+            VectorInstr(op=VectorOpcode.DEQUANTIZE, dst=rd, srcs=(rq,),
+                        scalar=0.05),
+        ])
+        assert np.abs(core.memory.read(rd).astype(np.float32)
+                      - x.astype(np.float32)).max() <= 0.05
+
+    def test_select_ge_backward_mask(self, core):
+        cond = np.linspace(-1, 1, 64).astype(np.float16)
+        a = np.ones(64, np.float16)
+        b = np.zeros(64, np.float16)
+        rc, ra, rb, rz = self._ub(0), self._ub(128), self._ub(256), self._ub(384)
+        core.memory.write(rc, cond)
+        core.memory.write(ra, a)
+        core.memory.write(rb, b)
+        _run(core, [VectorInstr(op=VectorOpcode.SELECT_GE, dst=rz,
+                                srcs=(rc, ra, rb))])
+        out = core.memory.read(rz)
+        assert np.array_equal(out, np.where(cond >= 0, a, b))
+
+    def test_slam_quaternion(self, core):
+        q1 = np.array([[1, 0, 0, 0], [0, 1, 0, 0]], np.float16)
+        q2 = np.array([[0, 0, 1, 0], [0, 0, 0, 1]], np.float16)
+        r1 = Region(MemSpace.UB, 0, (2, 4), FP16)
+        r2 = Region(MemSpace.UB, 64, (2, 4), FP16)
+        rz = Region(MemSpace.UB, 128, (2, 4), FP16)
+        core.memory.write(r1, q1)
+        core.memory.write(r2, q2)
+        _run(core, [VectorInstr(op=VectorOpcode.QUATERNION_MUL, dst=rz,
+                                srcs=(r1, r2))])
+        out = core.memory.read(rz)
+        # 1 * j = j ; i * k = -j.
+        assert np.allclose(out[0], [0, 0, 1, 0])
+        assert np.allclose(out[1], [0, 0, -1, 0])
+
+
+class TestMteFunctional:
+    def test_im2col_matches_direct_conv(self, rng):
+        img = rng.standard_normal((6, 6, 2)).astype(np.float32)
+        mat = im2col_array(img, (3, 3), (1, 1), (1, 1))
+        assert mat.shape == (36, 18)
+        w = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        out = (mat @ w.reshape(18, 4)).reshape(6, 6, 4)
+        # Direct convolution reference.
+        padded = np.pad(img, ((1, 1), (1, 1), (0, 0)))
+        ref = np.zeros((6, 6, 4), np.float32)
+        for i in range(6):
+            for j in range(6):
+                patch = padded[i:i + 3, j:j + 3, :]
+                ref[i, j] = np.tensordot(patch, w, axes=([0, 1, 2], [0, 1, 2]))
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_img2col_instruction(self, core, rng):
+        img = rng.standard_normal((6, 6, 2)).astype(np.float16)
+        src = Region(MemSpace.L1, 0, (6, 6, 2), FP16)
+        dst = Region(MemSpace.L0A, 0, (16, 18), FP16)
+        core.memory.write(src, img)
+        _run(core, [Img2ColInstr(dst=dst, src=src, kernel=(3, 3),
+                                 stride=(1, 1), padding=(0, 0))])
+        ref = im2col_array(img, (3, 3), (1, 1), (0, 0))
+        assert np.array_equal(core.memory.read(dst), ref)
+
+    def test_transpose_instruction(self, core, rng):
+        x = rng.standard_normal((8, 4)).astype(np.float16)
+        src = Region(MemSpace.L1, 0, (8, 4), FP16)
+        dst = Region(MemSpace.L0B, 0, (4, 8), FP16)
+        core.memory.write(src, x)
+        _run(core, [TransposeInstr(dst=dst, src=src)])
+        assert np.array_equal(core.memory.read(dst), x.T)
+
+    def test_decompress_instruction(self, core, rng):
+        dense = rng.standard_normal((16, 16)).astype(np.float16)
+        dense[rng.random((16, 16)) < 0.6] = 0
+        stream = zvc_compress(dense)
+        src = Region(MemSpace.L1, 0, (stream.size,), INT8)
+        dst = Region(MemSpace.L0B, 0, (16, 16), FP16)
+        core.memory[MemSpace.L1].write_bytes(0, stream)
+        _run(core, [DecompressInstr(dst=dst, src=src)])
+        assert np.array_equal(core.memory.read(dst), dense)
+
+    def test_copy_rejects_dtype_change(self, core):
+        src = Region(MemSpace.GM, 0, (16,), FP16)
+        dst = Region(MemSpace.L1, 0, (16,), FP32)
+        from repro.errors import IsaError
+
+        with pytest.raises(IsaError, match="CAST"):
+            _run(core, [CopyInstr(dst=dst, src=src)])

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run clean (the fast ones in-process)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+# The quick examples run as subprocesses on every test run; the heavier
+# SoC/cluster walkthroughs are covered by their benchmark counterparts.
+_FAST = [
+    "quickstart.py",
+    "compiler_tiers.py",
+    "edge_inference_runtime.py",
+]
+
+
+@pytest.mark.parametrize("script", _FAST)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist():
+    expected = set(_FAST) | {
+        "mobile_photo_pipeline.py",
+        "autonomous_driving.py",
+        "datacenter_training.py",
+        "train_mlp_on_device.py",
+    }
+    present = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert expected <= present

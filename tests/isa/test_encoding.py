@@ -1,0 +1,82 @@
+"""Binary encoding and instruction-compression tests (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import lower_gemm
+from repro.config import ASCEND_LITE, ASCEND_MAX
+from repro.errors import IsaError
+from repro.isa import Pipe, Program, ScalarInstr, SetFlag, WaitFlag
+from repro.isa.encoding import (
+    WORD_BYTES,
+    compress_program,
+    compression_ratio,
+    decode_program,
+    decompress_program,
+    encode_program,
+)
+
+
+@pytest.fixture(scope="module")
+def gemm_program():
+    return lower_gemm(512, 512, 256, ASCEND_LITE, tag="t")
+
+
+class TestBinaryEncoding:
+    def test_fixed_width(self, gemm_program):
+        blob = encode_program(gemm_program)
+        assert len(blob) == WORD_BYTES * len(gemm_program)
+
+    def test_decode_preserves_opcodes(self, gemm_program):
+        blob = encode_program(gemm_program)
+        decoded = decode_program(blob)
+        assert len(decoded) == len(gemm_program)
+        # Flag words decode with their pipes/event intact.
+        prog = Program([SetFlag(src_pipe=Pipe.M, dst_pipe=Pipe.V, event_id=3)])
+        (opcode, fields), = decode_program(encode_program(prog))
+        assert opcode == 8
+        assert fields[2] == 3  # event id
+
+    def test_misaligned_blob_rejected(self):
+        with pytest.raises(IsaError, match="word-aligned"):
+            decode_program(b"\x00" * (WORD_BYTES + 1))
+
+    def test_distinct_instructions_distinct_words(self):
+        a = encode_program(Program([ScalarInstr(op="x", cycles=1)]))
+        b = encode_program(Program([ScalarInstr(op="x", cycles=2)]))
+        assert a != b
+
+
+class TestCompression:
+    def test_roundtrip(self, gemm_program):
+        blob = encode_program(gemm_program)
+        packed = compress_program(gemm_program)
+        assert decompress_program(packed) == blob
+
+    def test_tile_loops_compress_well(self, gemm_program):
+        """Compiled tile loops repeat few distinct words many times —
+        the property the Lite core's NoC compression exploits."""
+        ratio = compression_ratio(gemm_program)
+        assert ratio > 3.0
+
+    def test_incompressible_program_does_not_grow_much(self):
+        prog = Program([ScalarInstr(op="s", cycles=i + 1) for i in range(100)])
+        packed = compress_program(prog)
+        raw = encode_program(prog)
+        assert len(packed) < len(raw) * 1.1 + 64
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IsaError, match="not a compressed"):
+            decompress_program(b"NOPE" + b"\x00" * 16)
+
+    def test_bad_dict_size_rejected(self, gemm_program):
+        with pytest.raises(IsaError):
+            compress_program(gemm_program, dict_size=0)
+
+    @given(st.integers(16, 400), st.integers(16, 400), st.integers(16, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, m, k, n):
+        prog = lower_gemm(m, k, n, ASCEND_MAX, tag="p")
+        assert decompress_program(compress_program(prog)) \
+            == encode_program(prog)

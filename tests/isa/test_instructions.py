@@ -1,0 +1,172 @@
+"""Instruction construction and validation tests."""
+
+import pytest
+
+from repro.dtypes import FP16, FP32, INT8, INT32
+from repro.errors import IsaError
+from repro.isa import (
+    CopyInstr,
+    CubeMatmul,
+    Img2ColInstr,
+    MemSpace,
+    Pipe,
+    PipeBarrier,
+    Region,
+    ScalarInstr,
+    SetFlag,
+    TransposeInstr,
+    VectorInstr,
+    VectorOpcode,
+    WaitFlag,
+)
+from repro.isa.instructions import DecompressInstr
+
+
+def _mm_regions(m=16, k=16, n=16, dtype=FP16, acc=FP32):
+    return (
+        Region(MemSpace.L0A, 0, (m, k), dtype),
+        Region(MemSpace.L0B, 0, (k, n), dtype),
+        Region(MemSpace.L0C, 0, (m, n), acc),
+    )
+
+
+class TestCubeMatmul:
+    def test_valid(self):
+        a, b, c = _mm_regions()
+        mm = CubeMatmul(a=a, b=b, c=c)
+        assert mm.pipe is Pipe.M
+        assert mm.macs == 16 ** 3
+
+    def test_int8_accumulates_int32(self):
+        a, b, c = _mm_regions(dtype=INT8, acc=INT32)
+        assert CubeMatmul(a=a, b=b, c=c).m == 16
+
+    def test_wrong_spaces_rejected(self):
+        a, b, c = _mm_regions()
+        bad_a = Region(MemSpace.L1, 0, (16, 16), FP16)
+        with pytest.raises(IsaError, match="L0A"):
+            CubeMatmul(a=bad_a, b=b, c=c)
+
+    def test_shape_mismatch_rejected(self):
+        a, _, c = _mm_regions()
+        bad_b = Region(MemSpace.L0B, 0, (8, 16), FP16)
+        with pytest.raises(IsaError, match="shape mismatch"):
+            CubeMatmul(a=a, b=bad_b, c=c)
+
+    def test_wrong_accumulator_rejected(self):
+        a, b, _ = _mm_regions()
+        bad_c = Region(MemSpace.L0C, 0, (16, 16), FP16)
+        with pytest.raises(IsaError, match="dtype"):
+            CubeMatmul(a=a, b=b, c=bad_c)
+
+
+class TestVectorInstr:
+    def test_arity_enforced(self):
+        dst = Region(MemSpace.UB, 0, (32,), FP16)
+        with pytest.raises(IsaError, match="expects 2 sources"):
+            VectorInstr(op=VectorOpcode.ADD, dst=dst, srcs=(dst,))
+
+    def test_scalar_ops_need_immediate(self):
+        dst = Region(MemSpace.UB, 0, (32,), FP16)
+        with pytest.raises(IsaError, match="scalar immediate"):
+            VectorInstr(op=VectorOpcode.MULS, dst=dst, srcs=(dst,))
+
+    def test_quantize_needs_positive_scale(self):
+        dst = Region(MemSpace.UB, 0, (32,), INT8)
+        src = Region(MemSpace.UB, 64, (32,), FP16)
+        with pytest.raises(IsaError, match="positive scale"):
+            VectorInstr(op=VectorOpcode.QUANTIZE, dst=dst, srcs=(src,),
+                        scalar=-1.0)
+
+    def test_reads_l0c(self):
+        src = Region(MemSpace.L0C, 0, (4, 4), FP32)
+        dst = Region(MemSpace.UB, 0, (4, 4), FP16)
+        v = VectorInstr(op=VectorOpcode.CAST, dst=dst, srcs=(src,))
+        assert v.pipe is Pipe.V
+
+    def test_cannot_read_l1(self):
+        src = Region(MemSpace.L1, 0, (4,), FP16)
+        dst = Region(MemSpace.UB, 0, (4,), FP16)
+        with pytest.raises(IsaError, match="UB/L0C"):
+            VectorInstr(op=VectorOpcode.COPY, dst=dst, srcs=(src,))
+
+    def test_opcode_metadata_unique(self):
+        # Regression: enum members must not alias.
+        assert VectorOpcode.COPY is not VectorOpcode.ADDS
+        assert VectorOpcode.EXP.passes == 4
+        assert VectorOpcode.SELECT_GE.arity == 3
+
+
+class TestCopyRouting:
+    def test_routes(self):
+        cases = [
+            (MemSpace.GM, MemSpace.L1, Pipe.MTE2),
+            (MemSpace.L1, MemSpace.L0A, Pipe.MTE1),
+            (MemSpace.L0C, MemSpace.UB, Pipe.V),
+            (MemSpace.UB, MemSpace.GM, Pipe.MTE3),
+        ]
+        for src_space, dst_space, pipe in cases:
+            src = Region(src_space, 0, (16,), FP32)
+            dst = Region(dst_space, 0, (16,), FP32)
+            assert CopyInstr(dst=dst, src=src).pipe is pipe
+
+    def test_illegal_route_rejected(self):
+        src = Region(MemSpace.L0A, 0, (16,), FP16)
+        dst = Region(MemSpace.GM, 0, (16,), FP16)
+        with pytest.raises(IsaError, match="no datapath route"):
+            CopyInstr(dst=dst, src=src)
+
+    def test_destination_must_fit(self):
+        src = Region(MemSpace.GM, 0, (32,), FP16)
+        dst = Region(MemSpace.L1, 0, (16,), FP16)
+        with pytest.raises(IsaError, match="smaller than source"):
+            CopyInstr(dst=dst, src=src)
+
+
+class TestMteInstructions:
+    def test_img2col_shape_contract(self):
+        src = Region(MemSpace.L1, 0, (8, 8, 3), FP16)
+        dst = Region(MemSpace.L0A, 0, (36, 27), FP16)
+        instr = Img2ColInstr(dst=dst, src=src, kernel=(3, 3), stride=(1, 1))
+        assert instr.out_spatial == (6, 6)
+        assert instr.pipe is Pipe.MTE1
+
+    def test_img2col_bad_dst_rejected(self):
+        src = Region(MemSpace.L1, 0, (8, 8, 3), FP16)
+        dst = Region(MemSpace.L0A, 0, (36, 26), FP16)
+        with pytest.raises(IsaError, match="dst shape"):
+            Img2ColInstr(dst=dst, src=src, kernel=(3, 3), stride=(1, 1))
+
+    def test_transpose_shape_contract(self):
+        src = Region(MemSpace.L1, 0, (8, 4), FP16)
+        dst = Region(MemSpace.L0B, 0, (4, 8), FP16)
+        assert TransposeInstr(dst=dst, src=src).pipe is Pipe.MTE1
+        with pytest.raises(IsaError):
+            TransposeInstr(dst=src, src=src)
+
+    def test_decompress_charges_compressed_bytes(self):
+        src = Region(MemSpace.L1, 0, (100,), INT8)
+        dst = Region(MemSpace.L0B, 0, (16, 16), FP16)
+        assert DecompressInstr(dst=dst, src=src).nbytes == 100
+
+
+class TestFlags:
+    def test_set_executes_on_src_pipe(self):
+        s = SetFlag(src_pipe=Pipe.M, dst_pipe=Pipe.V, event_id=3)
+        assert s.pipe is Pipe.M
+
+    def test_wait_executes_on_dst_pipe(self):
+        w = WaitFlag(src_pipe=Pipe.M, dst_pipe=Pipe.V, event_id=3)
+        assert w.pipe is Pipe.V
+
+    def test_same_pipe_flag_rejected(self):
+        with pytest.raises(IsaError, match="across"):
+            SetFlag(src_pipe=Pipe.M, dst_pipe=Pipe.M, event_id=0)
+
+    def test_scalar_instruction(self):
+        assert ScalarInstr(op="loop", cycles=3).pipe is Pipe.S
+        with pytest.raises(IsaError):
+            ScalarInstr(op="nop", cycles=0)
+
+    def test_pipe_barrier(self):
+        assert PipeBarrier(barrier_pipe=Pipe.V).pipe is Pipe.V

@@ -1,0 +1,66 @@
+"""Region / memory-space tests."""
+
+import pytest
+
+from repro.dtypes import FP16, FP32, INT4
+from repro.errors import IsaError
+from repro.isa import MemSpace, Region
+
+
+class TestRegionBasics:
+    def test_elems_and_nbytes(self):
+        r = Region(MemSpace.L1, 0, (8, 16), FP16)
+        assert r.elems == 128
+        assert r.nbytes == 256
+        assert r.end == 256
+
+    def test_int4_packs_two_per_byte(self):
+        r = Region(MemSpace.L0B, 0, (10,), INT4)
+        assert r.nbytes == 5
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.L1, -4, (8,), FP16)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.L1, 0, (8, 0), FP16)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.L1, 0, (), FP16)
+
+
+class TestPitchedRegions:
+    def test_footprint_includes_gaps(self):
+        r = Region(MemSpace.GM, 0, (4, 8), FP16, pitch=100)
+        assert r.row_bytes == 16
+        assert r.nbytes == 64  # payload only
+        assert r.footprint == 3 * 100 + 16
+        assert r.end == 316
+
+    def test_pitch_must_cover_row(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.GM, 0, (4, 8), FP16, pitch=8)
+
+    def test_pitch_only_rank2(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.GM, 0, (4, 8, 2), FP16, pitch=64)
+
+    def test_pitch_rejects_subbyte_dtypes(self):
+        with pytest.raises(IsaError):
+            Region(MemSpace.GM, 0, (4, 8), INT4, pitch=64)
+
+
+class TestOverlap:
+    def test_same_space_overlap(self):
+        a = Region(MemSpace.UB, 0, (16,), FP32)
+        b = Region(MemSpace.UB, 32, (16,), FP32)
+        c = Region(MemSpace.UB, 64, (16,), FP32)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_different_space_never_overlaps(self):
+        a = Region(MemSpace.UB, 0, (16,), FP32)
+        b = Region(MemSpace.L1, 0, (16,), FP32)
+        assert not a.overlaps(b)

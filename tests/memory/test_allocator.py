@@ -1,0 +1,46 @@
+"""Bump allocator tests."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory import BumpAllocator
+
+
+class TestBumpAllocator:
+    def test_alignment(self):
+        alloc = BumpAllocator(1024, alignment=64)
+        assert alloc.alloc(10) == 0
+        assert alloc.alloc(10) == 64  # bumped to next aligned slot
+
+    def test_out_of_space(self):
+        alloc = BumpAllocator(100)
+        alloc.alloc(90)
+        with pytest.raises(AllocationError, match="out of scratchpad space"):
+            alloc.alloc(50)
+
+    def test_scopes_free_lifo(self):
+        alloc = BumpAllocator(1024)
+        alloc.alloc(100)
+        alloc.push_scope()
+        inner = alloc.alloc(100)
+        alloc.pop_scope()
+        assert alloc.alloc(100) == inner  # space was reclaimed
+
+    def test_pop_without_push_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(64).pop_scope()
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(64, alignment=48)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(64).alloc(0)
+
+    def test_reset(self):
+        alloc = BumpAllocator(64)
+        alloc.alloc(32)
+        alloc.reset()
+        assert alloc.used == 0
+        assert alloc.free == 64

@@ -1,0 +1,88 @@
+"""Scratchpad and int4-packing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import FP16, FP32, INT4, INT8
+from repro.errors import MemoryError_
+from repro.isa import MemSpace, Region
+from repro.memory import Scratchpad, pack_int4, unpack_int4
+
+
+class TestScratchpad:
+    def test_roundtrip_fp16(self, rng):
+        pad = Scratchpad("L1", 4096)
+        region = Region(MemSpace.L1, 64, (8, 16), FP16)
+        data = rng.standard_normal((8, 16)).astype(np.float16)
+        pad.write(region, data)
+        assert np.array_equal(pad.read(region), data)
+
+    def test_out_of_bounds_read_rejected(self):
+        pad = Scratchpad("L1", 128)
+        with pytest.raises(MemoryError_, match="exceeds capacity"):
+            pad.read(Region(MemSpace.L1, 0, (128,), FP32))
+
+    def test_shape_mismatch_rejected(self):
+        pad = Scratchpad("UB", 1024)
+        region = Region(MemSpace.UB, 0, (4, 4), FP32)
+        with pytest.raises(MemoryError_, match="shape"):
+            pad.write(region, np.zeros((2, 8), np.float32))
+
+    def test_pitched_roundtrip(self, rng):
+        # A 4x8 tile inside a 4x32 row-major matrix.
+        pad = Scratchpad("GM", 4096)
+        full = Region(MemSpace.GM, 0, (4, 32), FP16)
+        matrix = rng.standard_normal((4, 32)).astype(np.float16)
+        pad.write(full, matrix)
+        tile = Region(MemSpace.GM, 2 * 8, (4, 8), FP16, pitch=64)
+        assert np.array_equal(pad.read(tile), matrix[:, 8:16])
+
+    def test_pitched_write(self, rng):
+        pad = Scratchpad("GM", 4096)
+        tile_data = rng.standard_normal((4, 8)).astype(np.float16)
+        tile = Region(MemSpace.GM, 0, (4, 8), FP16, pitch=64)
+        pad.write(tile, tile_data)
+        assert np.array_equal(pad.read(tile), tile_data)
+
+    def test_int4_region_roundtrip(self):
+        pad = Scratchpad("L0B", 64)
+        region = Region(MemSpace.L0B, 0, (10,), INT4)
+        values = np.array([-8, -1, 0, 1, 7, 3, -4, 2, 5, -6], np.int8)
+        pad.write(region, values)
+        assert np.array_equal(pad.read(region), values)
+
+    def test_clear(self):
+        pad = Scratchpad("UB", 64)
+        region = Region(MemSpace.UB, 0, (8,), INT8)
+        pad.write(region, np.arange(8, dtype=np.int8))
+        pad.clear()
+        assert pad.read(region).sum() == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(MemoryError_):
+            Scratchpad("bad", 0)
+
+
+class TestInt4Packing:
+    def test_pack_unpack_roundtrip(self):
+        values = np.array([-8, 7, 0, -1, 3], np.int8)
+        packed = pack_int4(values)
+        assert packed.size == 3  # 5 nibbles -> 3 bytes
+        assert np.array_equal(unpack_int4(packed, 5), values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MemoryError_):
+            pack_int4(np.array([8], np.int8))
+
+    def test_unpack_count_check(self):
+        with pytest.raises(MemoryError_):
+            unpack_int4(np.zeros(1, np.uint8), 3)
+
+    @given(st.lists(st.integers(min_value=-8, max_value=7), min_size=1,
+                    max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, np.int8)
+        assert np.array_equal(unpack_int4(pack_int4(arr), arr.size), arr)

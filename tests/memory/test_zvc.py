@@ -1,0 +1,68 @@
+"""Zero-value compression codec tests (the MTE decomp substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import zvc_compress, zvc_compressed_nbytes, zvc_decompress
+
+
+class TestZvcRoundtrip:
+    def test_dense_roundtrip(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float16)
+        stream = zvc_compress(x)
+        assert np.array_equal(zvc_decompress(stream, x.shape, x.dtype), x)
+
+    def test_sparse_saves_space(self, rng):
+        x = rng.standard_normal(1024).astype(np.float16)
+        x[rng.random(1024) < 0.8] = 0  # 80% sparse
+        stream = zvc_compress(x)
+        assert stream.size < x.nbytes // 2
+
+    def test_all_zero(self):
+        x = np.zeros((8, 8), np.float16)
+        stream = zvc_compress(x)
+        assert stream.size == 8  # mask only
+        assert np.array_equal(zvc_decompress(stream, x.shape, x.dtype), x)
+
+    def test_int8_payload(self, rng):
+        x = rng.integers(-128, 128, size=100).astype(np.int8)
+        stream = zvc_compress(x)
+        assert np.array_equal(zvc_decompress(stream, x.shape, x.dtype), x)
+
+    def test_truncated_stream_rejected(self, rng):
+        x = rng.standard_normal(64).astype(np.float16)
+        stream = zvc_compress(x)
+        with pytest.raises(MemoryError_, match="truncated"):
+            zvc_decompress(stream[:-2], x.shape, x.dtype)
+
+    def test_short_mask_rejected(self):
+        with pytest.raises(MemoryError_, match="mask"):
+            zvc_decompress(np.zeros(1, np.uint8), (64,), np.float16)
+
+    @given(st.integers(min_value=1, max_value=300),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, n, density):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n).astype(np.float16)
+        x[rng.random(n) >= density] = 0
+        stream = zvc_compress(x)
+        assert np.array_equal(zvc_decompress(stream, x.shape, x.dtype), x)
+
+
+class TestAnalyticSize:
+    def test_matches_actual_size(self, rng):
+        n = 4096
+        for density in (0.1, 0.5, 1.0):
+            x = rng.standard_normal(n).astype(np.float16)
+            x[rng.random(n) >= density] = 0
+            actual = zvc_compress(x).size
+            predicted = zvc_compressed_nbytes(n, (x != 0).mean(), 2)
+            assert actual == pytest.approx(predicted, abs=2)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(MemoryError_):
+            zvc_compressed_nbytes(100, 1.5, 2)

@@ -1,0 +1,112 @@
+"""Model zoo tests: every Table 1 workload builds with the right stats."""
+
+import pytest
+
+from repro.dtypes import FP16, INT8
+from repro.errors import GraphError
+from repro.models import (
+    BERT_BASE,
+    BERT_LARGE,
+    MODEL_BUILDERS,
+    build_bert,
+    build_gesture_net,
+    build_mobilenet_v2,
+    build_model,
+    build_resnet50,
+    build_vgg16,
+    training_workloads,
+)
+
+
+class TestPublishedMacCounts:
+    """MAC counts must match the published architectures (inference, b=1)."""
+
+    def test_resnet50_about_4_1_gmacs(self):
+        g = build_resnet50(batch=1)
+        assert g.total_macs() == pytest.approx(4.1e9, rel=0.03)
+
+    def test_mobilenet_v2_about_0_3_gmacs(self):
+        g = build_mobilenet_v2(batch=1)
+        assert g.total_macs() == pytest.approx(0.3e9, rel=0.1)
+
+    def test_vgg16_about_15_5_gmacs(self):
+        g = build_vgg16(batch=1)
+        assert g.total_macs() == pytest.approx(15.5e9, rel=0.03)
+
+    def test_bert_base_params(self):
+        # ~110 M parameters -> ~218 MB of fp16 weights (without embeddings
+        # it's ~85M).
+        g = build_bert(BERT_BASE, batch=1, seq=128)
+        assert g.total_weight_bytes() == pytest.approx(220e6, rel=0.05)
+
+    def test_bert_large_is_3x_base_macs(self):
+        base = build_bert(BERT_BASE, batch=1, seq=128,
+                          include_embeddings=False)
+        large = build_bert(BERT_LARGE, batch=1, seq=128,
+                           include_embeddings=False)
+        assert large.total_macs() / base.total_macs() == pytest.approx(3.5, rel=0.15)
+
+    def test_macs_scale_linearly_with_batch(self):
+        b1 = build_resnet50(batch=1).total_macs()
+        b4 = build_resnet50(batch=4).total_macs()
+        assert b4 == pytest.approx(4 * b1, rel=1e-6)
+
+
+class TestModelStructure:
+    def test_registry_builds_everything(self):
+        for name in MODEL_BUILDERS:
+            graph = build_model(name)
+            assert len(graph) > 5, name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(GraphError, match="unknown model"):
+            build_model("alexnet")
+
+    def test_gesture_is_int8(self):
+        g = build_gesture_net()
+        assert g.node("conv1").output.dtype is INT8
+
+    def test_mobilenet_has_depthwise_layers(self):
+        from repro.graph import DepthwiseConv2D
+
+        g = build_mobilenet_v2()
+        assert sum(isinstance(op, DepthwiseConv2D) for op in g) == 17
+
+    def test_resnet50_group_count(self):
+        g = build_resnet50()
+        groups = [name for name, _ in g.grouped_workloads()]
+        # conv1, pool1, 16 bottlenecks, fc.
+        assert len(groups) == 19
+
+    def test_bert_heads_divide_hidden(self):
+        with pytest.raises(GraphError, match="divisible"):
+            from repro.models.bert import BertConfig
+
+            BertConfig("bad", hidden=100, layers=1, heads=3, intermediate=256)
+
+
+class TestTrainingWorkloads:
+    def test_training_triples_cube_work(self):
+        g = build_resnet50(batch=1)
+        fwd = g.total_macs()
+        train = sum(w.macs for _, w in training_workloads(g))
+        assert train == pytest.approx(3 * fwd, rel=0.02)
+
+    def test_training_grows_vector_work_faster_with_optimizer(self):
+        g = build_bert(BERT_BASE, batch=1, seq=128)
+        fwd_vec = sum(w.vector_elem_passes
+                      for _, w in g.grouped_workloads())
+        with_opt = sum(w.vector_elem_passes
+                       for _, w in training_workloads(g))
+        without_opt = sum(
+            w.vector_elem_passes
+            for _, w in training_workloads(g, include_optimizer=False)
+        )
+        assert without_opt == pytest.approx(3 * fwd_vec, rel=0.02)
+        assert with_opt > without_opt
+
+    def test_group_order_preserved(self):
+        g = build_resnet50(batch=1)
+        fwd_groups = [name for name, _ in g.grouped_workloads()]
+        train_groups = [name for name, _ in training_workloads(g)]
+        assert fwd_groups == train_groups

@@ -1,0 +1,161 @@
+"""Host-runtime tests: device memory, streams/events, model runner."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND, ASCEND_MAX
+from repro.dtypes import FP16, FP32
+from repro.errors import AllocationError, MemoryError_, SchedulingError
+from repro.graph import GraphBuilder, ReferenceBackend
+from repro.memory.allocator import FreeListAllocator
+from repro.models import build_gesture_net
+from repro.models.bert import BertConfig
+from repro.models import build_bert
+from repro.runtime import Device, Event, ModelRunner, Stream
+
+
+class TestFreeListAllocator:
+    def test_alloc_free_roundtrip(self):
+        alloc = FreeListAllocator(4096)
+        a = alloc.alloc(1000)
+        b = alloc.alloc(1000)
+        assert a != b
+        alloc.free(a)
+        alloc.free(b)
+        assert alloc.free_bytes == 4096
+        assert alloc.largest_free_extent == 4096  # coalesced
+
+    def test_reuses_freed_space(self):
+        alloc = FreeListAllocator(2048)
+        a = alloc.alloc(1024)
+        alloc.alloc(960)
+        alloc.free(a)
+        c = alloc.alloc(512)
+        assert c == a  # first fit reuses the hole
+
+    def test_fragmentation_reported(self):
+        alloc = FreeListAllocator(3 * 64)
+        a = alloc.alloc(64)
+        b = alloc.alloc(64)
+        c = alloc.alloc(64)
+        alloc.free(a)
+        alloc.free(c)
+        with pytest.raises(AllocationError, match="largest free extent"):
+            alloc.alloc(128)  # 128 free total, but split around b
+        alloc.free(b)
+        assert alloc.alloc(128) == 0
+
+    def test_double_free_rejected(self):
+        alloc = FreeListAllocator(1024)
+        a = alloc.alloc(64)
+        alloc.free(a)
+        with pytest.raises(AllocationError, match="unknown"):
+            alloc.free(a)
+
+
+class TestDevice:
+    def test_malloc_copy_roundtrip(self, rng):
+        device = Device(ASCEND_MAX)
+        buf = device.malloc((32, 16), FP16)
+        data = rng.standard_normal((32, 16)).astype(np.float16)
+        device.memcpy_h2d(buf, data)
+        assert np.array_equal(device.memcpy_d2h(buf), data)
+        device.free(buf)
+
+    def test_use_after_free_rejected(self):
+        device = Device(ASCEND_MAX)
+        buf = device.malloc((4,), FP32)
+        device.free(buf)
+        with pytest.raises(MemoryError_, match="freed"):
+            device.memcpy_d2h(buf)
+
+    def test_shape_mismatch_rejected(self):
+        device = Device(ASCEND_MAX)
+        buf = device.malloc((4, 4), FP16)
+        with pytest.raises(MemoryError_, match="mismatch"):
+            device.memcpy_h2d(buf, np.zeros((2, 8), np.float16))
+
+    def test_bytes_in_use_tracks(self):
+        device = Device(ASCEND_MAX)
+        assert device.bytes_in_use == 0
+        buf = device.malloc((1024,), FP16)
+        assert device.bytes_in_use >= 2048
+        device.free(buf)
+        assert device.bytes_in_use == 0
+
+
+class TestStreams:
+    def _program(self):
+        from repro.isa import Program, ScalarInstr
+
+        return Program([ScalarInstr(op="work", cycles=100)], name="p")
+
+    def test_stream_accumulates_time(self):
+        device = Device(ASCEND_MAX)
+        stream = Stream(device, launch_overhead_cycles=10)
+        stream.launch(self._program())
+        stream.launch(self._program())
+        assert stream.synchronize() == 2 * (10 + 100)
+
+    def test_event_cross_stream_dependency(self):
+        device = Device(ASCEND_MAX)
+        producer = Stream(device, "producer", launch_overhead_cycles=0)
+        consumer = Stream(device, "consumer", launch_overhead_cycles=0)
+        producer.launch(self._program())
+        done = producer.record(Event("grad_ready"))
+        consumer.launch(self._program(), wait_for=[done])
+        assert consumer.synchronize() >= done.cycles + 100
+
+    def test_wait_on_unrecorded_event_rejected(self):
+        device = Device(ASCEND_MAX)
+        stream = Stream(device)
+        with pytest.raises(SchedulingError, match="unrecorded"):
+            stream.launch(self._program(), wait_for=[Event("never")])
+
+
+class TestModelRunner:
+    def test_small_cnn_matches_reference(self, rng):
+        graph = build_gesture_net(batch=1, image=32)
+        device = Device(ASCEND)
+        runner = ModelRunner(graph, device, seed=11)
+        frame = rng.standard_normal((1, 32, 32, 1)).astype(np.float32)
+        report = runner.run({"frame": frame})
+        ref = ReferenceBackend(graph, params=runner.backend.params).outputs(
+            {"frame": frame})
+        for name, out in report.outputs.items():
+            assert np.allclose(out, ref[name], atol=5e-2, rtol=5e-2), name
+
+    def test_conv_and_dense_offloaded(self, rng):
+        graph = build_gesture_net(batch=1, image=32)
+        device = Device(ASCEND)
+        report = ModelRunner(graph, device).run(
+            {"frame": rng.standard_normal((1, 32, 32, 1)).astype(np.float32)})
+        assert any(n.startswith("conv") for n in report.offloaded_nodes)
+        assert "fc" in report.offloaded_nodes
+        assert report.device_cycles > 0
+
+    def test_tiny_transformer_runs(self, rng):
+        cfg = BertConfig("bert-nano", hidden=32, layers=1, heads=2,
+                         intermediate=64, vocab_size=50)
+        graph = build_bert(cfg, batch=1, seq=4)
+        device = Device(ASCEND)
+        report = ModelRunner(graph, device).run(
+            {"token_ids": rng.integers(0, 50, (1, 4)).astype(np.int32)})
+        out = next(iter(report.outputs.values()))
+        assert out.shape == (1, 4, 32)
+        assert np.isfinite(out).all()
+
+    def test_missing_feed_rejected(self):
+        graph = build_gesture_net(batch=1, image=32)
+        with pytest.raises(SchedulingError, match="missing feed"):
+            ModelRunner(graph, Device(ASCEND)).run({})
+
+    def test_device_time_accumulates_across_runs(self, rng):
+        graph = build_gesture_net(batch=1, image=32)
+        device = Device(ASCEND)
+        runner = ModelRunner(graph, device)
+        frame = rng.standard_normal((1, 32, 32, 1)).astype(np.float32)
+        runner.run({"frame": frame})
+        after_one = device.total_cycles
+        runner.run({"frame": frame})
+        assert device.total_cycles > after_one

@@ -1,0 +1,38 @@
+"""DVPP (digital vision pre-processor) model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.soc import Dvpp
+
+
+class TestDvpp:
+    def test_910_decode_capacity(self):
+        dvpp = Dvpp()
+        assert dvpp.decode_channels == 128  # Section 3.1.2
+        assert dvpp.decode_frames_per_s == 128 * 30
+
+    def test_sustained_streams(self):
+        assert Dvpp().sustained_streams(fps=30) == 128
+        assert Dvpp().sustained_streams(fps=60) == 64
+
+    def test_decode_latency(self):
+        assert Dvpp().decode_latency_s(3) == pytest.approx(0.1)
+
+    def test_resize_scales_with_pixels(self):
+        dvpp = Dvpp()
+        small = dvpp.resize_time_s(1920, 1080, 224, 224)
+        big = dvpp.resize_time_s(3840, 2160, 224, 224)
+        assert big == pytest.approx(4 * small)
+
+    def test_stitch_per_camera(self):
+        dvpp = Dvpp()
+        assert dvpp.stitch_time_s(8) == pytest.approx(2 * dvpp.stitch_time_s(4))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            Dvpp(decode_channels=0)
+        with pytest.raises(ConfigError):
+            Dvpp().decode_latency_s(0)
+        with pytest.raises(ConfigError):
+            Dvpp().stitch_time_s(0)

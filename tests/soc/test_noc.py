@@ -1,0 +1,85 @@
+"""Mesh / ring NoC tests (Section 3.1.1, Section 3.3)."""
+
+import pytest
+
+from repro.config import ASCEND_910
+from repro.config.soc_configs import NocConfig
+from repro.errors import SchedulingError
+from repro.soc import MeshNoc, RingNoc
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return MeshNoc(ASCEND_910.noc)
+
+
+class TestMeshAnalytic:
+    def test_link_bandwidth_256_gb_s(self, mesh):
+        # 1024 bit @ 2 GHz (Section 3.1.1).
+        assert mesh.link_bandwidth_bytes == pytest.approx(256e9)
+
+    def test_topology_4x6(self, mesh):
+        assert (mesh.rows, mesh.cols) == (6, 4)
+
+    def test_hop_count_manhattan(self, mesh):
+        assert mesh.hop_count((0, 0), (3, 5)) == 8
+
+    def test_average_hops(self, mesh):
+        avg = mesh.average_hops()
+        assert 2.5 < avg < 4.5  # ~(rows+cols)/3 for a 4x6 mesh
+
+    def test_bisection(self, mesh):
+        assert mesh.bisection_bandwidth_bytes == pytest.approx(
+            2 * 4 * 256e9)
+
+    def test_wrong_topology_rejected(self):
+        with pytest.raises(SchedulingError):
+            MeshNoc(NocConfig("ring", 1, 8, 256, 1e9))
+
+
+class TestMeshSimulation:
+    def test_light_load_delivers_everything(self, mesh):
+        stats = mesh.simulate(injection_rate=0.02, cycles=1500, seed=1)
+        injected_estimate = 0.02 * 24 * 1500
+        assert stats.delivered > 0.85 * injected_estimate
+
+    def test_latency_grows_with_load(self, mesh):
+        light = mesh.simulate(injection_rate=0.02, cycles=1000, seed=2)
+        heavy = mesh.simulate(injection_rate=0.35, cycles=1000, seed=2)
+        assert heavy.avg_latency > light.avg_latency
+
+    def test_deflections_appear_under_hotspot(self, mesh):
+        uniform = mesh.simulate(injection_rate=0.1, cycles=800, seed=3)
+        hotspot = mesh.simulate(injection_rate=0.1, cycles=800, seed=3,
+                                hotspot=(1, 2), hotspot_fraction=0.8)
+        assert hotspot.deflections > uniform.deflections
+
+    def test_avg_hops_close_to_manhattan(self, mesh):
+        stats = mesh.simulate(injection_rate=0.05, cycles=1500, seed=4)
+        assert stats.avg_hops < 2 * mesh.average_hops()
+
+    def test_bad_rate_rejected(self, mesh):
+        with pytest.raises(SchedulingError):
+            mesh.simulate(injection_rate=1.5)
+
+
+class TestRing:
+    @pytest.fixture
+    def ring(self):
+        return RingNoc(NocConfig("ring", 1, 8, 256, 1e9))
+
+    def test_shortest_path(self, ring):
+        assert ring.hop_count(0, 7) == 1  # wraps around
+        assert ring.hop_count(0, 4) == 4
+
+    def test_worst_case_deterministic(self, ring):
+        assert ring.worst_case_hops == 4
+        assert ring.worst_case_latency_s() == pytest.approx(12 / 1e9)
+
+    def test_transfer_time(self, ring):
+        t = ring.transfer_time(32e9, 0, 1)  # 1 s of bandwidth
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_bounds_checked(self, ring):
+        with pytest.raises(SchedulingError):
+            ring.hop_count(0, 9)

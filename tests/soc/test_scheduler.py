@@ -1,0 +1,66 @@
+"""Multi-level task scheduler tests (Figure 17)."""
+
+import pytest
+
+from repro.compiler.stream import Block, Stream, Task
+from repro.errors import SchedulingError
+from repro.soc import TaskScheduler
+
+
+def _stream(name, tasks, blocks_each, cycles=100):
+    return Stream(name=name, tasks=[
+        Task(name=f"{name}.t{i}",
+             blocks=[Block(name=f"{name}.t{i}.b{j}", cycles=cycles)
+                     for j in range(blocks_each)])
+        for i in range(tasks)
+    ])
+
+
+class TestBlockLevelParallelism:
+    def test_blocks_spread_across_cores(self):
+        sched = TaskScheduler(core_count=4, task_launch_overhead=0)
+        result = sched.schedule([_stream("s", tasks=1, blocks_each=4)])
+        assert result.makespan == 100  # perfectly parallel
+        assert {p.core for p in result.placements} == {0, 1, 2, 3}
+
+    def test_more_blocks_than_cores_waves(self):
+        sched = TaskScheduler(core_count=2, task_launch_overhead=0)
+        result = sched.schedule([_stream("s", tasks=1, blocks_each=4)])
+        assert result.makespan == 200
+
+    def test_tasks_in_order_within_stream(self):
+        sched = TaskScheduler(core_count=8, task_launch_overhead=0)
+        result = sched.schedule([_stream("s", tasks=3, blocks_each=2)])
+        t0_end = max(p.end for p in result.placements if p.task == "s.t0")
+        t1_start = min(p.start for p in result.placements if p.task == "s.t1")
+        assert t1_start >= t0_end
+
+    def test_launch_overhead_counts(self):
+        with_ov = TaskScheduler(core_count=1, task_launch_overhead=50)
+        without = TaskScheduler(core_count=1, task_launch_overhead=0)
+        s = _stream("s", tasks=2, blocks_each=1)
+        s2 = _stream("s", tasks=2, blocks_each=1)
+        assert (with_ov.schedule([s]).makespan
+                == without.schedule([s2]).makespan + 100)
+
+
+class TestApplicationLevel:
+    def test_two_streams_share_cores(self):
+        sched = TaskScheduler(core_count=2, task_launch_overhead=0)
+        result = sched.schedule([
+            _stream("a", tasks=2, blocks_each=1),
+            _stream("b", tasks=2, blocks_each=1),
+        ])
+        # Two independent streams on two cores: near-perfect overlap.
+        assert result.makespan == 200
+        assert result.stream_finish("a") <= 200
+        assert result.stream_finish("b") <= 200
+
+    def test_utilization_metric(self):
+        sched = TaskScheduler(core_count=2, task_launch_overhead=0)
+        result = sched.schedule([_stream("a", tasks=1, blocks_each=2)])
+        assert result.utilization() == pytest.approx(1.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SchedulingError):
+            TaskScheduler(core_count=0)

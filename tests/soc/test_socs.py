@@ -1,0 +1,187 @@
+"""SoC-level tests: training / mobile / automotive designs."""
+
+import pytest
+
+from repro.config import ASCEND_910, KIRIN_990_5G
+from repro.dtypes import INT4, INT8
+from repro.errors import SchedulingError
+from repro.soc import AutomotiveSoc, MobileSoc, SlamTask, TrainingSoc
+from repro.soc.qos import MpamPartition, QosArbiter, TrafficClass
+
+
+@pytest.fixture(scope="module")
+def soc_910():
+    return TrainingSoc()
+
+
+@pytest.fixture(scope="module")
+def rn50_train(soc_910):
+    return soc_910.resnet50_training(batch=256)
+
+
+class TestTrainingSoc:
+    def test_resnet_throughput_ballpark(self, rn50_train):
+        """Table 7 reports 1809 img/s; coarse fidelity target: 2x band."""
+        assert 900 < rn50_train.throughput_items_per_s < 3600
+
+    def test_uses_all_32_cores(self, rn50_train):
+        assert rn50_train.active_cores == 32
+
+    def test_memory_and_compute_both_modeled(self, rn50_train):
+        assert rn50_train.compute_seconds > 0
+        assert rn50_train.memory_seconds > 0
+        assert rn50_train.bound in ("compute", "memory")
+
+    def test_inference_faster_than_training(self, soc_910, rn50_train):
+        inf = soc_910.resnet50_inference(batch=256)
+        assert inf.throughput_items_per_s > rn50_train.throughput_items_per_s
+
+    def test_llc_sweep_monotone_and_in_band(self, soc_910):
+        sweep = soc_910.llc_capacity_sweep(
+            [96 * 2 ** 20, 720 * 2 ** 20], workload="resnet50")
+        (_, t96), (_, t720) = sweep
+        speedup = t96 / t720
+        # Paper: 1.71x for ResNet-50.
+        assert 1.4 < speedup < 2.1
+
+    def test_bert_llc_sweep_band(self, soc_910):
+        sweep = soc_910.llc_capacity_sweep(
+            [96 * 2 ** 20, 720 * 2 ** 20], workload="bert")
+        (_, t96), (_, t720) = sweep
+        assert 1.2 < t96 / t720 < 1.9  # paper: 1.51x
+
+    def test_batch_must_be_positive(self, soc_910):
+        with pytest.raises(SchedulingError):
+            soc_910.resnet50_training(batch=0)
+
+    def test_dvpp_present(self, soc_910):
+        assert soc_910.dvpp is not None
+        assert soc_910.dvpp.decode_frames_per_s == 128 * 30
+
+
+class TestMobileSoc:
+    @pytest.fixture(scope="class")
+    def kirin(self):
+        return MobileSoc()
+
+    def test_peak_tops_matches_table8(self, kirin):
+        assert kirin.peak_tops_int8() == pytest.approx(6.88, rel=0.02)
+
+    def test_mobilenet_latency_single_digit_ms(self, kirin):
+        r = kirin.mobilenet_inference()
+        # Table 8: Kirin 990 5.2 ms; competitors 7-15 ms.
+        assert 2 < r.latency_ms < 15
+
+    def test_tops_per_watt_near_4_6(self, kirin):
+        assert kirin.tops_per_watt() == pytest.approx(4.6, rel=0.5)
+
+    def test_big_little_dispatch(self, kirin):
+        assert kirin.dispatch(always_on=True) == "ascend-tiny"
+        assert kirin.dispatch(always_on=False) == "ascend-lite"
+
+    def test_wakeup_runs_on_tiny(self, kirin):
+        r = kirin.wakeup_inference()
+        assert r.active_cores == 1
+        assert r.latency_ms < 20
+
+    def test_tiny_power_300mw(self, kirin):
+        assert kirin.tiny_power_w() == pytest.approx(0.3)
+
+    def test_dvfs_lower_point_saves_energy(self, kirin):
+        curve = kirin.dvfs_energy_curve(cycles=10_000_000)
+        names = [row[0] for row in curve]
+        energies = [row[2] for row in curve]
+        assert names[0] == "eco"
+        assert energies[0] < energies[-1]  # eco beats boost on energy
+
+    def test_dvfs_governor_selects_minimum_sufficient(self, kirin):
+        assert kirin.governor.select(0.3).name == "eco"
+        assert kirin.governor.select(1.0).name == "nominal"
+        assert kirin.governor.select(2.0).name == "boost"
+
+
+class TestAutomotiveSoc:
+    @pytest.fixture(scope="class")
+    def auto(self):
+        return AutomotiveSoc()
+
+    def test_peak_160_tops_int8(self, auto):
+        assert auto.peak_tops(INT8) == pytest.approx(160, rel=0.05)
+
+    def test_int4_doubles_int8(self, auto):
+        assert auto.peak_tops(INT4) == pytest.approx(2 * auto.peak_tops(INT8))
+
+    def test_mpam_protects_critical_traffic(self, auto):
+        demands = {"perception": 30e9, "slam": 5e9, "best_effort": 500e9}
+        with_mpam = auto.latency_under_contention(demands, with_mpam=True)
+        without = auto.latency_under_contention(demands, with_mpam=False)
+        assert with_mpam["perception"] <= 1.05
+        assert without["perception"] > 1.5
+
+    def test_best_effort_not_starved(self, auto):
+        """QoS avoids starvation: best-effort still gets its floor share."""
+        demands = {"perception": 40e9, "slam": 20e9, "best_effort": 900e9}
+        slow = auto.latency_under_contention(demands, with_mpam=True)
+        assert slow["best_effort"] != float("inf")
+
+    def test_slam_latency_scales_with_work(self, auto):
+        small = auto.slam_latency_s([SlamTask("loc", "sort", 10_000)])
+        large = auto.slam_latency_s([SlamTask("loc", "sort", 1_000_000)])
+        assert large > 50 * small
+
+    def test_unknown_slam_kind_rejected(self, auto):
+        with pytest.raises(SchedulingError):
+            auto.slam_latency_s([SlamTask("x", "warp", 10)])
+
+    def test_deadline_check_end_to_end(self, auto):
+        tasks = [SlamTask("loc", "cluster", 200_000),
+                 SlamTask("map", "quaternion", 100_000)]
+        assert auto.safety_deadline_met(deadline_s=0.1,
+                                        perception_s=0.02,
+                                        slam_tasks=tasks)
+        assert not auto.safety_deadline_met(deadline_s=0.001,
+                                            perception_s=0.02,
+                                            slam_tasks=tasks)
+
+    def test_safety_ring_is_deterministic(self, auto):
+        assert auto.safety_ring.worst_case_latency_s() > 0
+
+
+class TestQosArbiter:
+    def _classes(self):
+        return (TrafficClass("crit", priority=2, critical=True),
+                TrafficClass("bulk", priority=0))
+
+    def test_floors_respected(self):
+        arb = QosArbiter(100.0, self._classes(),
+                         [MpamPartition("crit", min_share=0.5)])
+        res = arb.arbitrate({"crit": 50.0, "bulk": 500.0})
+        assert res.granted["crit"] == pytest.approx(50.0)
+
+    def test_ceilings_cap_bulk(self):
+        arb = QosArbiter(100.0, self._classes(),
+                         [MpamPartition("bulk", min_share=0.0, max_share=0.3)])
+        res = arb.arbitrate({"crit": 10.0, "bulk": 500.0})
+        assert res.granted["bulk"] <= 30.0 + 1e-6
+
+    def test_underuse_returns_bandwidth(self):
+        arb = QosArbiter(100.0, self._classes(),
+                         [MpamPartition("crit", min_share=0.5)])
+        res = arb.arbitrate({"crit": 5.0, "bulk": 200.0})
+        assert res.granted["bulk"] > 90.0  # unused floor flows to bulk
+
+    def test_overcommitted_floors_rejected(self):
+        with pytest.raises(SchedulingError, match="exceed"):
+            QosArbiter(100.0, self._classes(),
+                       [MpamPartition("crit", min_share=0.7),
+                        MpamPartition("bulk", min_share=0.6)])
+
+    def test_unknown_class_rejected(self):
+        arb = QosArbiter(100.0, self._classes())
+        with pytest.raises(SchedulingError):
+            arb.arbitrate({"ghost": 1.0})
+
+    def test_worst_case_latency_factor(self):
+        arb = QosArbiter(100.0, self._classes(),
+                         [MpamPartition("crit", min_share=0.4)])
+        assert arb.worst_case_latency_factor("crit") <= 1.05

@@ -1,0 +1,143 @@
+"""Configuration tests: the Table 5 design points and SoC integrations."""
+
+import pytest
+
+from repro.config import (
+    ASCEND,
+    ASCEND_310,
+    ASCEND_610,
+    ASCEND_910,
+    ASCEND_LITE,
+    ASCEND_MAX,
+    ASCEND_MINI,
+    ASCEND_TINY,
+    CORE_CONFIGS,
+    KIRIN_990_5G,
+    CubeShape,
+    core_config_by_name,
+    soc_config_by_name,
+    tech_by_node,
+    TECH_7NM,
+)
+from repro.dtypes import FP16, INT4, INT8
+from repro.errors import ConfigError
+
+
+class TestCubeShapes:
+    def test_big_core_cube_is_16x16x16(self):
+        for cfg in (ASCEND_MAX, ASCEND, ASCEND_MINI):
+            assert (cfg.cube.m, cfg.cube.k, cfg.cube.n) == (16, 16, 16)
+            assert cfg.cube.flops_per_cycle == 8192  # Table 5
+
+    def test_lite_cube_shrinks_m_for_batch_one(self):
+        # Section 3.2: 4x16x16 improves MAC utilization at batch 1.
+        assert (ASCEND_LITE.cube.m, ASCEND_LITE.cube.k, ASCEND_LITE.cube.n) \
+            == (4, 16, 16)
+        assert ASCEND_LITE.cube.flops_per_cycle == 2048
+
+    def test_tiny_cube_is_int8_only(self):
+        assert ASCEND_TINY.cube_dtypes == (INT8,)
+        assert ASCEND_TINY.cube.flops_per_cycle == 1024
+        assert not ASCEND_TINY.supports_dtype(FP16)
+
+    def test_macs_per_cycle(self):
+        assert CubeShape(16, 16, 16).macs_per_cycle == 4096
+
+
+class TestTable5Parameters:
+    def test_vector_widths(self):
+        assert ASCEND_MAX.vector_width_bytes == 256
+        assert ASCEND_LITE.vector_width_bytes == 128
+        assert ASCEND_TINY.vector_width_bytes == 32
+
+    def test_l1_bus_bandwidths_big_core(self):
+        # A: 4 TB/s, B: 2 TB/s, UB: 2 TB/s at 1 GHz (decimal units).
+        assert ASCEND_MAX.l1_to_l0a_bytes_per_cycle == 4000
+        assert ASCEND_MAX.l1_to_l0b_bytes_per_cycle == 2000
+        assert ASCEND_MAX.ub_bytes_per_cycle == 2000
+
+    def test_asymmetric_a_b_bandwidth(self):
+        # Section 2.5: the A path is wider than the B path.
+        assert ASCEND_MAX.l1_to_l0a_bw > ASCEND_MAX.l1_to_l0b_bw
+
+    def test_tiny_has_no_llc(self):
+        assert ASCEND_TINY.llc_bw_per_core is None
+        assert ASCEND_TINY.llc_bytes_per_cycle is None
+
+    def test_llc_bandwidth_per_core_rows(self):
+        assert ASCEND_MAX.llc_bw_per_core == pytest.approx(94e9)
+        assert ASCEND.llc_bw_per_core == pytest.approx(111e9)
+        assert ASCEND_MINI.llc_bw_per_core == pytest.approx(96e9)
+        assert ASCEND_LITE.llc_bw_per_core == pytest.approx(38.4e9)
+
+    def test_int8_doubles_k_on_fp16_cores(self):
+        # Section 2.1: "can extend to 16x32x16 with int8 precision".
+        assert ASCEND_MAX.cube_macs_per_cycle(INT8) == 8192
+        assert ASCEND.cube_macs_per_cycle(INT4) == 16384
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ConfigError):
+            ASCEND_TINY.cube_macs_per_cycle(FP16)
+
+    def test_lookup(self):
+        assert core_config_by_name("ascend-lite") is ASCEND_LITE
+        with pytest.raises(ConfigError):
+            core_config_by_name("ascend-huge")
+
+    def test_all_design_points_registered(self):
+        # The five Table 5 rows plus the Section 7.2 next-gen extension.
+        assert len(CORE_CONFIGS) == 6
+        assert "ascend-next" in CORE_CONFIGS
+
+
+class TestSocConfigs:
+    def test_910_peak_matches_paper(self):
+        # 256 TFLOPS fp16 / 512 TOPS int8 (Section 3.1.2).
+        assert ASCEND_910.peak_ops(FP16) == pytest.approx(256e12, rel=0.05)
+        assert ASCEND_910.peak_ops(INT8) == pytest.approx(512e12, rel=0.05)
+
+    def test_910_structure(self):
+        assert ASCEND_910.ai_core_count == 32
+        assert ASCEND_910.cpu_cores == 16
+        assert ASCEND_910.noc.rows * ASCEND_910.noc.cols == 24  # 4x6 mesh
+
+    def test_910_noc_link_is_256_gb_s(self):
+        assert ASCEND_910.noc.link_bandwidth == pytest.approx(256e9)
+
+    def test_kirin_peak_matches_paper(self):
+        # Table 8: 6.88 TOPS.
+        assert KIRIN_990_5G.peak_ops(INT8) == pytest.approx(6.88e12, rel=0.02)
+
+    def test_kirin_is_big_little(self):
+        names = [core.name for core, _ in KIRIN_990_5G.core_groups]
+        assert names == ["ascend-lite", "ascend-tiny"]
+
+    def test_610_peak_near_160_tops(self):
+        assert ASCEND_610.peak_ops(INT8) == pytest.approx(160e12, rel=0.05)
+
+    def test_610_supports_int4(self):
+        assert ASCEND_610.peak_ops(INT4) > ASCEND_610.peak_ops(INT8)
+
+    def test_lookup(self):
+        assert soc_config_by_name("ascend-910") is ASCEND_910
+        with pytest.raises(ConfigError):
+            soc_config_by_name("ascend-9000")
+
+
+class TestTechModel:
+    def test_area_scaling_is_quadratic(self):
+        t14 = TECH_7NM.scaled(14)
+        assert t14.cube_mm2_per_kmac == pytest.approx(
+            4 * TECH_7NM.cube_mm2_per_kmac)
+
+    def test_energy_scaling_is_linear(self):
+        t14 = TECH_7NM.scaled(14)
+        assert t14.cube_pj_per_flop == pytest.approx(
+            2 * TECH_7NM.cube_pj_per_flop)
+
+    def test_known_nodes_cached(self):
+        assert tech_by_node(7) is TECH_7NM
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ConfigError):
+            TECH_7NM.scaled(0)

@@ -1,0 +1,92 @@
+"""Unit tests for datapath dtypes and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import (
+    FP16,
+    FP32,
+    INT4,
+    INT8,
+    INT32,
+    accumulator_for,
+    cast,
+    dequantize,
+    dtype_by_name,
+    quantize,
+)
+from repro.errors import ConfigError
+
+
+class TestDTypeBasics:
+    def test_bits_and_bytes(self):
+        assert FP16.bytes == 2
+        assert FP32.bytes == 4
+        assert INT8.bytes == 1
+        assert INT4.bytes == 0.5
+
+    def test_lookup_by_name(self):
+        assert dtype_by_name("fp16") is FP16
+        assert dtype_by_name("int4") is INT4
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown dtype"):
+            dtype_by_name("bf16")
+
+    def test_int4_range(self):
+        assert INT4.min_value == -8
+        assert INT4.max_value == 7
+
+    def test_accumulators_follow_the_paper(self):
+        assert accumulator_for(FP16) is FP32
+        assert accumulator_for(INT8) is INT32
+        assert accumulator_for(INT4) is INT32
+
+
+class TestCast:
+    def test_float_to_int_saturates(self):
+        out = cast(np.array([300.0, -300.0, 5.4]), INT8)
+        assert out.tolist() == [127, -128, 5]
+
+    def test_int4_saturates_to_nibble_range(self):
+        out = cast(np.array([100.0, -100.0]), INT4)
+        assert out.tolist() == [7, -8]
+
+    def test_float_cast_preserves_values(self):
+        out = cast(np.array([1.5, -2.25]), FP16)
+        assert out.dtype == np.float16
+        assert out.tolist() == [1.5, -2.25]
+
+
+class TestQuantize:
+    def test_round_trip_small_error(self, rng):
+        x = rng.standard_normal(256).astype(np.float32)
+        q = quantize(x, INT8, scale=0.05)
+        back = dequantize(q, scale=0.05, dtype=FP32)
+        assert np.abs(back - x).max() <= 0.05
+
+    def test_zero_point_shifts(self):
+        q = quantize(np.array([0.0]), INT8, scale=1.0, zero_point=10)
+        assert q[0] == 10
+
+    def test_quantize_to_float_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize(np.ones(4), FP16, scale=1.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize(np.ones(4), INT8, scale=0.0)
+
+    def test_dequantize_to_int_rejected(self):
+        with pytest.raises(ConfigError):
+            dequantize(np.ones(4, np.int8), scale=1.0, dtype=INT8)
+
+    @given(st.floats(min_value=0.01, max_value=10.0),
+           st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_quantize_always_in_range(self, scale, zero_point):
+        x = np.linspace(-1000, 1000, 101)
+        q = quantize(x, INT8, scale=scale, zero_point=zero_point)
+        assert q.min() >= -128 and q.max() <= 127

@@ -1,0 +1,56 @@
+"""Error-hierarchy and public-API contract tests."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AllocationError,
+    CompileError,
+    ConfigError,
+    DeadlockError,
+    GraphError,
+    IsaError,
+    MemoryError_,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc in (ConfigError, IsaError, MemoryError_, AllocationError,
+                    SimulationError, DeadlockError, GraphError, CompileError,
+                    SchedulingError):
+            assert issubclass(exc, ReproError), exc
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_allocation_is_memory_error(self):
+        assert issubclass(AllocationError, MemoryError_)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(ReproError):
+            repro.core_config_by_name("nonexistent")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_design_points_importable_from_top_level(self):
+        assert repro.ASCEND_MAX.cube.flops_per_cycle == 8192
+        assert repro.ASCEND_910.ai_core_count == 32
+
+    def test_key_classes_at_top_level(self):
+        for name in ("AscendCore", "GraphEngine", "TrainingSoc", "Device",
+                     "ModelRunner", "ReferenceBackend", "TbeExpr",
+                     "TikKernel", "CceAssembler"):
+            assert name in repro.__all__, name

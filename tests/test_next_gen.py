@@ -1,0 +1,56 @@
+"""Tests for the Section 7.2 future-work extension (fp32 cube mode)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import lower_gemm
+from repro.compiler.lowering import GemmLayout
+from repro.config.core_configs import ASCEND_MAX, ASCEND_NEXT, core_config_by_name
+from repro.core import AscendCore, CostModel
+from repro.dtypes import FP16, FP32
+from repro.errors import ConfigError
+from repro.isa import MemSpace, Region
+
+
+class TestNextGenConfig:
+    def test_registered(self):
+        assert core_config_by_name("ascend-next") is ASCEND_NEXT
+
+    def test_fp32_runs_at_half_rate(self):
+        assert ASCEND_NEXT.cube_macs_per_cycle(FP32) \
+            == ASCEND_NEXT.cube.macs_per_cycle // 2
+
+    def test_910_core_has_no_fp32_cube(self):
+        with pytest.raises(ConfigError):
+            ASCEND_MAX.cube_macs_per_cycle(FP32)
+
+    def test_fp32_tile_shape_halves_k(self):
+        costs = CostModel(ASCEND_NEXT)
+        assert costs.cube_tile_shape(FP32) == (16, 8, 16)
+        assert costs.cube_tile_shape(FP16) == (16, 16, 16)
+
+
+class TestFp32Functional:
+    def test_fp32_gemm_matches_numpy(self, rng):
+        m, k, n = 48, 40, 24
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        core = AscendCore(ASCEND_NEXT)
+        layout = GemmLayout(0, 2 ** 19, 2 ** 20)
+        prog = lower_gemm(m, k, n, ASCEND_NEXT, dtype=FP32, layout=layout)
+        core.memory.write(Region(MemSpace.GM, 0, (m, k), FP32), a)
+        core.memory.write(Region(MemSpace.GM, 2 ** 19, (k, n), FP32), b)
+        core.run(prog)
+        out = core.memory.read(Region(MemSpace.GM, 2 ** 20, (m, n), FP32))
+        # fp32 through the cube is near-exact (no fp16 rounding).
+        assert np.allclose(out, a @ b, rtol=1e-5, atol=1e-4)
+
+    def test_fp32_slower_than_fp16(self):
+        from repro.core.engine import schedule
+
+        costs = CostModel(ASCEND_NEXT)
+        t16 = schedule(lower_gemm(512, 512, 512, ASCEND_NEXT, dtype=FP16,
+                                  tag="a"), costs).total_cycles
+        t32 = schedule(lower_gemm(512, 512, 512, ASCEND_NEXT, dtype=FP32,
+                                  tag="b"), costs).total_cycles
+        assert t32 > 1.5 * t16
