@@ -1,0 +1,17 @@
+# Developer entry points.  PYTHONPATH=src keeps everything runnable
+# without an editable install.
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-speed ci
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/ -q
+
+bench-speed:
+	$(PY) benchmarks/bench_sim_speed.py --smoke
+
+# CI gate: the tier-1 suite plus a ~10 s simulator-speed smoke run.
+ci: test bench-speed

@@ -7,8 +7,10 @@ worst legal tiling, on real layer shapes from the model zoo.
 """
 
 from repro.analysis import ascii_table
+from repro.bench import run_sweep
 from repro.compiler import lower_gemm
-from repro.compiler.tiling import Tiling, choose_tiling, legal_tilings
+from repro.compiler.tiling import (Tiling, choose_tiling, estimate_gemm_cycles,
+                                   legal_tilings)
 from repro.config import ASCEND_MAX
 from repro.core.costs import CostModel
 from repro.core.engine import schedule
@@ -29,23 +31,31 @@ def _simulate(m, k, n, tiling):
     return schedule(prog, CostModel(ASCEND_MAX)).total_cycles
 
 
-def test_auto_tiling_beats_naive(report, benchmark):
-    from repro.compiler.tiling import estimate_gemm_cycles
+def _ablate_shape(job):
+    """Sweep worker: (searched, naive, worst) cycles for one GEMM shape."""
+    name, m, k, n = job
+    searched = _simulate(m, k, n, choose_tiling(m, k, n, ASCEND_MAX))
+    naive = _simulate(m, k, n, Tiling(16, 16, 16, min(k, 16)))
+    # Worst legal candidate ranked analytically (simulating every
+    # candidate would dominate the suite's runtime).
+    candidates = legal_tilings(m, k, n, ASCEND_MAX)
+    worst_tiling = max(
+        candidates,
+        key=lambda t: estimate_gemm_cycles(m, k, n, t, ASCEND_MAX))
+    worst = _simulate(m, k, n, worst_tiling)
+    return name, searched, naive, worst
 
+
+def _warm_tiling_caches():
+    """Run the tiling searches in the parent so every fork-spawned worker
+    inherits hot ``choose_tiling``/``estimate_gemm_cycles`` caches."""
+    for _, m, k, n in _SHAPES:
+        choose_tiling(m, k, n, ASCEND_MAX)
+
+
+def test_auto_tiling_beats_naive(report, benchmark):
     def run_all():
-        rows = []
-        for name, m, k, n in _SHAPES:
-            searched = _simulate(m, k, n, choose_tiling(m, k, n, ASCEND_MAX))
-            naive = _simulate(m, k, n, Tiling(16, 16, 16, min(k, 16)))
-            # Worst legal candidate ranked analytically (simulating every
-            # candidate would dominate the suite's runtime).
-            candidates = legal_tilings(m, k, n, ASCEND_MAX)
-            worst_tiling = max(
-                candidates,
-                key=lambda t: estimate_gemm_cycles(m, k, n, t, ASCEND_MAX))
-            worst = _simulate(m, k, n, worst_tiling)
-            rows.append((name, searched, naive, worst))
-        return rows
+        return run_sweep(_SHAPES, _ablate_shape, warm=_warm_tiling_caches)
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     report("ablation_tiling", ascii_table(

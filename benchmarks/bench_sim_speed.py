@@ -1,0 +1,144 @@
+"""Simulator performance trajectory: cold vs warm compile wall-clock.
+
+Times ``GraphEngine.compile_graph`` for ResNet-50 and BERT-Base on two
+core design points, each in a *fresh* subprocess so imports, lru caches
+and the in-memory layer cache start cold:
+
+* **cold** — empty persistent cache directory;
+* **warm** — same directory again, so every layer is a disk hit.
+
+Standalone (``python benchmarks/bench_sim_speed.py``) appends one entry
+to ``benchmarks/results/BENCH_sim_speed.json`` — the perf trajectory the
+project tracks across commits.  ``--smoke`` restricts to ResNet-50 on
+one core (a few seconds, used by the CI target).  Under pytest the smoke
+measurement runs and asserts the warm path actually wins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+_TRAJECTORY = _RESULTS / "BENCH_sim_speed.json"
+
+_MODEL_KWARGS = {
+    "resnet50": {"batch": 1},
+    "bert-base": {"batch": 1, "seq": 128},
+}
+_FULL_JOBS = [
+    ("resnet50", "ascend"),
+    ("resnet50", "ascend-max"),
+    ("bert-base", "ascend"),
+    ("bert-base", "ascend-max"),
+]
+_SMOKE_JOBS = [("resnet50", "ascend")]
+
+
+def _measure_jobs(jobs):
+    """Compile each (model, core) job once; called inside the child."""
+    from repro.compiler import GraphEngine
+    from repro.config import core_config_by_name
+    from repro.models import build_model
+
+    out = {}
+    for model, core in jobs:
+        graph = build_model(model, **_MODEL_KWARGS[model])
+        engine = GraphEngine(core_config_by_name(core))
+        t0 = time.perf_counter()
+        compiled = engine.compile_graph(graph)
+        out[f"{model}@{core}"] = {
+            "seconds": round(time.perf_counter() - t0, 4),
+            "cycles": compiled.total_cycles,
+        }
+    return out
+
+
+def _run_child(jobs, cache_dir: str) -> dict:
+    """One measurement in a fresh interpreter with the given cache dir."""
+    env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", json.dumps(jobs)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def measure(smoke: bool = False) -> dict:
+    """Cold + warm measurement across fresh processes."""
+    jobs = _SMOKE_JOBS if smoke else _FULL_JOBS
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        cold = _run_child(jobs, cache)
+        warm = _run_child(jobs, cache)
+    points = {}
+    for label in cold:
+        assert cold[label]["cycles"] == warm[label]["cycles"], label
+        points[label] = {
+            "cold_s": cold[label]["seconds"],
+            "warm_s": warm[label]["seconds"],
+            "cycles": cold[label]["cycles"],
+        }
+    return {"smoke": smoke, "points": points}
+
+
+def _append_trajectory(entry: dict) -> None:
+    _RESULTS.mkdir(exist_ok=True)
+    history = []
+    if _TRAJECTORY.exists():
+        history = json.loads(_TRAJECTORY.read_text())
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **entry}
+    history.append(entry)
+    _TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _render(entry: dict) -> str:
+    lines = ["sim speed (cold vs warm compile, fresh process each):"]
+    for label, p in entry["points"].items():
+        speedup = p["cold_s"] / p["warm_s"] if p["warm_s"] else float("inf")
+        lines.append(f"  {label:24s} cold {p['cold_s']:7.3f}s  "
+                     f"warm {p['warm_s']:7.3f}s  ({speedup:.1f}x)  "
+                     f"cycles {p['cycles']}")
+    return "\n".join(lines)
+
+
+# -- pytest entry point -------------------------------------------------------
+
+def test_sim_speed_smoke(report):
+    entry = measure(smoke=True)
+    report("sim_speed_smoke", _render(entry))
+    for p in entry["points"].values():
+        # The warm path must beat cold compile comfortably; 2x is a loose
+        # floor (measured ~50x+) that stays robust on loaded CI machines.
+        assert p["warm_s"] * 2 < p["cold_s"], entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="ResNet-50 on one core only")
+    parser.add_argument("--child", metavar="JOBS",
+                        help=argparse.SUPPRESS)  # internal: measure once
+    args = parser.parse_args(argv)
+
+    if args.child:
+        json.dump(_measure_jobs(json.loads(args.child)), sys.stdout)
+        return 0
+
+    entry = measure(smoke=args.smoke)
+    print(_render(entry))
+    _append_trajectory(entry)
+    print(f"appended to {_TRAJECTORY}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

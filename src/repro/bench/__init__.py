@@ -1,0 +1,5 @@
+"""Benchmark-harness utilities (parallel sweep execution)."""
+
+from .runner import run_sweep, sweep_workers
+
+__all__ = ["run_sweep", "sweep_workers"]

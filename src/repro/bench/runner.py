@@ -1,0 +1,87 @@
+"""Parallel sweep harness: map a worker over independent sweep jobs.
+
+The benchmark suite is dominated by embarrassingly-parallel sweeps —
+(model, core, sweep-point) jobs that share compiled layers but not
+results.  :func:`run_sweep` fans such jobs out over a
+``ProcessPoolExecutor`` while keeping three properties the harness
+relies on:
+
+* **Warm-cache seeding.**  An optional ``warm`` callable runs in the
+  parent *before* the pool forks, so everything it populates — the
+  process-global ``GraphEngine._GLOBAL_CACHE``, tiling ``lru_cache``\\ s,
+  interned flags — is inherited by every worker via fork copy-on-write.
+  Workers then only pay for their job's distinct work.  (The persistent
+  compile cache covers the same ground across unrelated processes; warm
+  seeding covers it without touching disk.)
+* **Deterministic results.**  Results come back in job order, identical
+  to the serial map; a worker exception propagates to the caller.
+* **Graceful fallback.**  Serial execution when jobs are few, when
+  ``REPRO_SWEEP_WORKERS=0``/``1``, when the platform lacks ``fork``
+  (the seeding contract above requires it), or when the worker/jobs
+  turn out not to be picklable.
+
+Workers must be module-level functions and jobs picklable values.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["run_sweep", "sweep_workers"]
+
+_ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+_J = TypeVar("_J")
+_R = TypeVar("_R")
+
+
+def sweep_workers(n_jobs: int) -> int:
+    """Worker count for ``n_jobs`` (``REPRO_SWEEP_WORKERS`` overrides)."""
+    env = os.environ.get(_ENV_WORKERS)
+    if env is not None:
+        try:
+            limit = int(env)
+        except ValueError:
+            limit = 1
+    else:
+        limit = os.cpu_count() or 1
+    return max(1, min(limit, n_jobs))
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return None
+
+
+def run_sweep(jobs: Iterable[_J], worker: Callable[[_J], _R],
+              max_workers: Optional[int] = None,
+              warm: Optional[Callable[[], object]] = None) -> List[_R]:
+    """``[worker(job) for job in jobs]``, fanned out over processes.
+
+    ``warm`` (if given) always runs first, in the parent — both so its
+    caches are fork-inherited and so serial fallback behaves the same.
+    """
+    job_list: Sequence[_J] = list(jobs)
+    if warm is not None:
+        warm()
+    if not job_list:
+        return []
+    workers = (max_workers if max_workers is not None
+               else sweep_workers(len(job_list)))
+    workers = max(1, min(workers, len(job_list)))
+    ctx = _fork_context()
+    if workers <= 1 or ctx is None:
+        return [worker(job) for job in job_list]
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            return list(pool.map(worker, job_list))
+    except (pickle.PicklingError, AttributeError, BrokenExecutor):
+        # Unpicklable worker/job (or a worker died): redo serially so the
+        # sweep still completes; correctness over parallelism.
+        return [worker(job) for job in job_list]

@@ -1,0 +1,159 @@
+"""Persistent compile cache: content-addressed CompiledLayer summaries.
+
+Compiling a layer group (lower + schedule) is pure: the resulting
+statistics depend only on the workload, the core design point, and the
+cost-model schema.  This module caches those statistics on disk keyed by
+a content hash of exactly those inputs, so benchmark processes and the
+test suite skip redundant lowering + scheduling across *process*
+boundaries (the in-memory ``GraphEngine._GLOBAL_CACHE`` already handles
+repeats within one process).
+
+Layout: ``<cache dir>/v<SCHEMA_VERSION>/<sha256>.json``.  The cache dir
+comes from ``REPRO_CACHE_DIR`` (default ``.repro_cache/``); setting
+``REPRO_CACHE=0`` disables the persistent tier entirely.
+
+Invalidation is versioned twice over: the schema version is part of both
+the directory name and the hashed content, so any change to the cost
+model, lowering, or payload shape is a clean miss — bump
+``SCHEMA_VERSION`` whenever compiled statistics can change.  Corrupt or
+unreadable entries are treated as misses, never errors: the cache must
+lose races gracefully when parallel sweep workers share a directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
+           "load", "store", "note_memory_hit", "stats", "reset_stats"]
+
+# Bump when lowering, the cost model, or the payload shape changes.
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLE = "REPRO_CACHE"
+_DEFAULT_DIR = ".repro_cache"
+
+_STATS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0,
+          "memory_hits": 0}
+
+
+def enabled() -> bool:
+    """Whether the persistent tier is active (``REPRO_CACHE=0`` disables)."""
+    return os.environ.get(_ENV_ENABLE, "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Versioned cache directory (``REPRO_CACHE_DIR``/v<SCHEMA_VERSION>)."""
+    base = os.environ.get(_ENV_DIR, _DEFAULT_DIR)
+    return Path(base) / f"v{SCHEMA_VERSION}"
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-stable form of the hashed inputs.
+
+    Dataclasses become ``{type name: {field: value}}`` so renaming a type
+    or field invalidates; enums hash by name; anything else non-JSON
+    (e.g. ``np.dtype``) by ``str()``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.name
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {type(obj).__name__: fields}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    return str(obj)
+
+
+def content_key(config: Any, work: Any, a_bytes_scale: float = 1.0,
+                weight_density: Optional[float] = None) -> str:
+    """sha256 over (schema, core design point, workload, lowering knobs)."""
+    blob = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": _canonical(config),
+            "workload": _canonical(work),
+            "a_bytes_scale": a_bytes_scale,
+            "weight_density": weight_density,
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load(key: str) -> Optional[Dict[str, Any]]:
+    """Payload for ``key``, or None on miss/corruption/schema mismatch."""
+    if not enabled():
+        return None
+    path = cache_dir() / f"{key}.json"
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        _STATS["misses"] += 1
+        return None
+    except (OSError, ValueError):
+        _STATS["errors"] += 1
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+        _STATS["misses"] += 1
+        return None
+    _STATS["hits"] += 1
+    return payload
+
+
+def store(key: str, payload: Dict[str, Any]) -> None:
+    """Atomically persist ``payload`` (write-to-temp + rename).
+
+    Atomic replace keeps concurrent sweep workers from ever observing a
+    torn entry; failures are counted but never raised — a read-only or
+    full cache dir must not break compilation.
+    """
+    if not enabled():
+        return
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({**payload, "schema": SCHEMA_VERSION}, fh)
+            os.replace(tmp, directory / f"{key}.json")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        _STATS["errors"] += 1
+        return
+    _STATS["stores"] += 1
+
+
+def note_memory_hit() -> None:
+    """Record an in-memory (process-local) cache hit for :func:`stats`."""
+    _STATS["memory_hits"] += 1
+
+
+def stats() -> Dict[str, Any]:
+    """Counters for this process plus the active configuration."""
+    return {**_STATS, "enabled": enabled(), "dir": str(cache_dir()),
+            "schema": SCHEMA_VERSION}
+
+
+def reset_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0

@@ -18,15 +18,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config.core_configs import CoreConfig
 from ..core.costs import CostModel
-from ..core.engine import schedule
+from ..core.engine import schedule_summary
 from ..graph import Graph
 from ..graph.ops import Conv2D, DepthwiseConv2D
 from ..graph.workload import OpWorkload
 from ..isa.pipes import Pipe
+from . import cache
 from .lowering import lower_workload
 from .stream import Block, Stream, Task
 
 __all__ = ["CompiledLayer", "CompiledModel", "GraphEngine"]
+
+# The numeric fields a cached CompiledLayer round-trips through the
+# persistent cache (everything except name/workload identity).
+_PAYLOAD_FIELDS = (
+    "cycles", "cube_cycles", "vector_cycles", "mte1_cycles", "mte2_cycles",
+    "mte3_cycles", "l1_read_bytes", "l1_write_bytes", "gm_read_bytes",
+    "gm_write_bytes", "instr_count",
+)
 
 
 @dataclass(frozen=True)
@@ -126,47 +135,68 @@ class GraphEngine:
                          a_bytes_scale: float = 1.0,
                          weight_density: Optional[float] = None
                          ) -> CompiledLayer:
-        """Lower + schedule one workload, with structural caching."""
-        key = (self.config.name, work.gemms, work.vector, work.weight_bytes,
-               work.input_bytes, work.output_bytes, a_bytes_scale,
-               weight_density)
+        """Lower + schedule one workload, with two-tier caching.
+
+        Tier 1 is the process-global in-memory cache; tier 2 the
+        persistent content-addressed cache (see
+        :mod:`repro.compiler.cache`).  Both use the same content-hash
+        key, so a layer compiled in one process is a disk hit in the
+        next.
+        """
+        key = cache.content_key(self.config, work, a_bytes_scale,
+                                weight_density)
         cached = self._cache.get(key)
         if cached is not None:
-            return CompiledLayer(
-                name=name or work.name, workload=work, cycles=cached.cycles,
-                cube_cycles=cached.cube_cycles,
-                vector_cycles=cached.vector_cycles,
-                mte1_cycles=cached.mte1_cycles, mte2_cycles=cached.mte2_cycles,
-                mte3_cycles=cached.mte3_cycles,
-                l1_read_bytes=cached.l1_read_bytes,
-                l1_write_bytes=cached.l1_write_bytes,
-                gm_read_bytes=cached.gm_read_bytes,
-                gm_write_bytes=cached.gm_write_bytes,
-                instr_count=cached.instr_count,
-            )
+            cache.note_memory_hit()
+            return self._relabel(cached, work, name)
+        payload = cache.load(key)
+        if payload is not None:
+            try:
+                layer = self._from_payload(payload, work, name)
+            except (KeyError, TypeError):
+                payload = None  # incomplete entry: recompile below
+            else:
+                self._cache[key] = layer
+                return layer
         program = lower_workload(work, self.config,
                                  a_bytes_scale_for_gemms=a_bytes_scale,
                                  weight_density=weight_density)
-        trace = schedule(program, self.costs)
-        l1_read, l1_write = trace.l1_traffic_bytes()
-        gm_read, gm_write = trace.gm_traffic_bytes()
+        summary = schedule_summary(program, self.costs)
         layer = CompiledLayer(
             name=name or work.name,
             workload=work,
-            cycles=trace.total_cycles,
-            cube_cycles=trace.busy_cycles(Pipe.M),
-            vector_cycles=trace.busy_cycles(Pipe.V),
-            mte1_cycles=trace.busy_cycles(Pipe.MTE1),
-            mte2_cycles=trace.busy_cycles(Pipe.MTE2),
-            mte3_cycles=trace.busy_cycles(Pipe.MTE3),
-            l1_read_bytes=l1_read,
-            l1_write_bytes=l1_write,
-            gm_read_bytes=gm_read,
-            gm_write_bytes=gm_write,
+            cycles=summary.total_cycles,
+            cube_cycles=summary.busy_cycles(Pipe.M),
+            vector_cycles=summary.busy_cycles(Pipe.V),
+            mte1_cycles=summary.busy_cycles(Pipe.MTE1),
+            mte2_cycles=summary.busy_cycles(Pipe.MTE2),
+            mte3_cycles=summary.busy_cycles(Pipe.MTE3),
+            l1_read_bytes=summary.l1_read_bytes,
+            l1_write_bytes=summary.l1_write_bytes,
+            gm_read_bytes=summary.gm_read_bytes,
+            gm_write_bytes=summary.gm_write_bytes,
             instr_count=len(program),
         )
         self._cache[key] = layer
+        cache.store(key, {f: getattr(layer, f) for f in _PAYLOAD_FIELDS})
         return layer
+
+    @staticmethod
+    def _relabel(layer: CompiledLayer, work: OpWorkload,
+                 name: Optional[str]) -> CompiledLayer:
+        """Cached statistics under this call's name/workload identity."""
+        return CompiledLayer(
+            name=name or work.name, workload=work,
+            **{f: getattr(layer, f) for f in _PAYLOAD_FIELDS},
+        )
+
+    @staticmethod
+    def _from_payload(payload: dict, work: OpWorkload,
+                      name: Optional[str]) -> CompiledLayer:
+        return CompiledLayer(
+            name=name or work.name, workload=work,
+            **{f: payload[f] for f in _PAYLOAD_FIELDS},
+        )
 
     # -- model compilation ----------------------------------------------------
 

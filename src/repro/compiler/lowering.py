@@ -74,6 +74,22 @@ class PostOp:
     scalar: Optional[float] = None
 
 
+# Flag instructions are immutable and tiny, and a compiled tile loop
+# emits the same (src, dst, event, tag) flag thousands of times — intern
+# them so repeated emissions share one object (the timing engine prices
+# instructions per distinct object).
+_FLAG_CACHE: dict = {}
+
+
+def _interned_flag(cls, src: Pipe, dst: Pipe, event: int, tag: str):
+    key = (cls, src, dst, event, tag)
+    instr = _FLAG_CACHE.get(key)
+    if instr is None:
+        instr = cls(src_pipe=src, dst_pipe=dst, event_id=event, tag=tag)
+        _FLAG_CACHE[key] = instr
+    return instr
+
+
 class _Emitter:
     """Accumulates instructions and balances flag channels at the end."""
 
@@ -89,11 +105,11 @@ class _Emitter:
 
     def set_flag(self, src: Pipe, dst: Pipe, event: int) -> None:
         self._sets[(src, dst, event)] += 1
-        self.emit(SetFlag(src_pipe=src, dst_pipe=dst, event_id=event, tag=self.tag))
+        self.emit(_interned_flag(SetFlag, src, dst, event, self.tag))
 
     def wait_flag(self, src: Pipe, dst: Pipe, event: int) -> None:
         self._waits[(src, dst, event)] += 1
-        self.emit(WaitFlag(src_pipe=src, dst_pipe=dst, event_id=event, tag=self.tag))
+        self.emit(_interned_flag(WaitFlag, src, dst, event, self.tag))
 
     def finish(self) -> Program:
         """Drain unmatched release flags — the kernel-end barrier."""

@@ -73,12 +73,15 @@ def legal_tilings(m: int, k: int, n: int, config: CoreConfig,
     Candidates are multiples of the native cube shape, clipped to the
     problem size, subject to the double-buffered capacity constraints.
     """
-    from ..core.costs import CostModel
-
-    m0, k0, n0 = CostModel(config).cube_tile_shape(dtype)
+    m0, k0, n0 = _cost_model_for(config).cube_tile_shape(dtype)
     tilings: List[Tiling] = []
     for tm in _candidates(m, m0):
         for tk in _candidates(k, k0):
+            # Capacity bound on the A tile alone: candidates are sorted
+            # ascending, so once 2*tm*tk overflows L0A every later tk
+            # does too — skip them without ever calling _fits.
+            if tm * tk * dtype.bytes * _DOUBLE_BUFFER > config.l0a_bytes:
+                break
             for tn in _candidates(n, n0):
                 for ks_mult in (1, 2, 4, 8):
                     k_stage = min(k, tk * ks_mult)
@@ -113,17 +116,27 @@ def _round_up(value: int, base: int) -> int:
     return -(-value // base) * base
 
 
+@lru_cache(maxsize=64)
+def _cost_model_for(config: CoreConfig):
+    """One CostModel per design point — constructing a DatapathModel for
+    every tiling candidate dominated the search's profile."""
+    from ..core.costs import CostModel
+
+    return CostModel(config)
+
+
+@lru_cache(maxsize=131072)
 def estimate_gemm_cycles(m: int, k: int, n: int, tiling: Tiling,
                          config: CoreConfig, dtype: DType = FP16) -> float:
     """Analytic cycle estimate for one GEMM under a tiling.
 
     Models the pipelined execution as max(per-pipe busy time) plus one
     pipeline fill; the same structure the event engine produces, without
-    emitting instructions.  Used to rank tilings.
+    emitting instructions.  Used to rank tilings.  Memoized per
+    (m, k, n, tiling, config, dtype) — tiling searches across benchmark
+    sweeps revisit the same candidates thousands of times.
     """
-    from ..core.costs import CostModel
-
-    costs = CostModel(config)
+    costs = _cost_model_for(config)
     datapath = costs.datapath
     acc = accumulator_for(dtype)
     ov = DatapathModel.TRANSFER_OVERHEAD_CYCLES

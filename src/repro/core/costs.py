@@ -40,6 +40,18 @@ _CUBE_STARTUP = 4
 _VEC_STARTUP = 2
 _FLAG_COST = 1
 
+# Exact-type dispatch classes for the two most frequent cost shapes:
+# 1 = bus move priced by the datapath, 2 = unit-cost synchronization.
+_COST_KIND = {
+    CopyInstr: 1,
+    Img2ColInstr: 1,
+    TransposeInstr: 1,
+    DecompressInstr: 1,
+    SetFlag: 2,
+    WaitFlag: 2,
+    PipeBarrier: 2,
+}
+
 
 class CostModel:
     """Maps instructions to cycle costs for one :class:`CoreConfig`."""
@@ -47,6 +59,9 @@ class CostModel:
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
         self.datapath = DatapathModel(config)
+        # GEMM tile shapes repeat across a compiled graph; price each
+        # distinct (m, k, n, dtype) once.
+        self._cube_memo: dict = {}
 
     # -- cube -----------------------------------------------------------------
 
@@ -67,9 +82,14 @@ class CostModel:
         return (shape.m, max(1, int(shape.k * k_scale)), shape.n)
 
     def cube_cycles(self, m: int, k: int, n: int, dtype) -> int:
-        m0, k0, n0 = self.cube_tile_shape(dtype)
-        tiles = math.ceil(m / m0) * math.ceil(k / k0) * math.ceil(n / n0)
-        return _CUBE_STARTUP + tiles
+        key = (m, k, n, dtype.name)
+        cycles = self._cube_memo.get(key)
+        if cycles is None:
+            m0, k0, n0 = self.cube_tile_shape(dtype)
+            tiles = math.ceil(m / m0) * math.ceil(k / k0) * math.ceil(n / n0)
+            cycles = _CUBE_STARTUP + tiles
+            self._cube_memo[key] = cycles
+        return cycles
 
     # -- vector ---------------------------------------------------------------
 
@@ -79,8 +99,38 @@ class CostModel:
 
     # -- dispatch -------------------------------------------------------------
 
+    def cost_table(self, instrs) -> list:
+        """Per-instruction costs for a whole program in one pass.
+
+        Compiled tile loops repeat a handful of distinct instruction
+        objects thousands of times (flags are interned by the lowerer;
+        repeated GEMMs share sub-program objects), so costs are memoized
+        per instruction *object* — each distinct object is priced once.
+        """
+        memo: dict = {}
+        memo_get = memo.get
+        cost = self.cost
+        table = []
+        append = table.append
+        for instr in instrs:
+            key = id(instr)
+            c = memo_get(key)
+            if c is None:
+                c = cost(instr)
+                memo[key] = c
+            append(c)
+        return table
+
     def cost(self, instr: Instruction) -> int:
         """Cycles the instruction occupies its pipe."""
+        # Exact-type fast path (every ISA class is final in practice);
+        # the isinstance chain below remains as the subclass fallback.
+        kind = _COST_KIND.get(type(instr))
+        if kind == 1:
+            return self.datapath.cycles_for(
+                instr.src.space, instr.dst.space, instr.nbytes)
+        if kind == 2:
+            return _FLAG_COST
         if isinstance(instr, CubeMatmul):
             return self.cube_cycles(instr.m, instr.k, instr.n, instr.a.dtype)
         if isinstance(instr, VectorInstr):

@@ -4,25 +4,57 @@ Figure 3 semantics: the PSQ dispatches instructions *in program order* into
 per-pipe in-order queues; pipes run concurrently; a ``wait_flag`` stalls
 its pipe until the matching ``set_flag`` retires on the producer pipe.
 
-The engine advances each pipe's head instruction whenever it is runnable,
-iterating to a fixpoint.  A program whose waits can never be satisfied
-raises :class:`~repro.errors.DeadlockError` — the same programs hang real
-silicon, so surfacing them loudly is a feature.
+Two schedulers implement these semantics:
+
+* :func:`schedule_single_pass` (the default) — a dependency-driven O(N)
+  pass.  Each pipe keeps a cursor into its queue; a pipe drains until it
+  stalls on an empty flag channel, registers itself as the channel's
+  waiter, and is re-queued the moment the producing ``set_flag`` retires.
+  Flag channels are FIFOs keyed by a packed int (pipes hash as ints),
+  and instruction costs are looked up once per distinct instruction
+  object via :meth:`CostModel.cost_table`.
+* :func:`schedule_fixpoint` — the original rescan-to-fixpoint loop, kept
+  as the reference oracle.  ``tests/core/test_engine_equivalence.py``
+  asserts both produce bit-identical traces.
+
+Both orderings are work-conserving over the same in-order queues and
+single-producer/single-consumer FIFO channels, so start/end times are
+schedule-order independent — the traces they produce are identical.
+
+A program whose waits can never be satisfied raises
+:class:`~repro.errors.DeadlockError` — the same programs hang real
+silicon, so surfacing them loudly is a feature.  Set ``REPRO_SCHEDULER=
+fixpoint`` to force the legacy scheduler globally.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError
-from ..isa.instructions import Instruction, SetFlag, WaitFlag
+from ..isa.instructions import (
+    CopyInstr,
+    DecompressInstr,
+    Img2ColInstr,
+    Instruction,
+    SetFlag,
+    TransposeInstr,
+    WaitFlag,
+)
+from ..isa.memref import MemSpace
 from ..isa.pipes import Pipe
 from ..isa.program import Program
 from .costs import CostModel
-from .trace import ExecutionTrace, TraceEvent
+from .trace import ExecutionTrace, TraceEvent, TraceSummary
 
-__all__ = ["schedule"]
+__all__ = [
+    "schedule",
+    "schedule_single_pass",
+    "schedule_summary",
+    "schedule_fixpoint",
+]
 
 # The PSQ dispatches a bounded number of instructions per cycle; with
 # tile-granular instructions this is essentially never the bottleneck,
@@ -31,9 +63,199 @@ _DISPATCH_PER_CYCLE = 4
 
 _Channel = Tuple[Pipe, Pipe, int]
 
+_N_PIPES = len(Pipe)
 
-def schedule(program: Program, costs: CostModel) -> ExecutionTrace:
-    """Compute start/end cycles for every instruction in ``program``."""
+
+def schedule(program: Program, costs: CostModel,
+             algorithm: Optional[str] = None) -> ExecutionTrace:
+    """Compute start/end cycles for every instruction in ``program``.
+
+    ``algorithm`` selects the scheduler: ``"single-pass"`` (default) or
+    ``"fixpoint"`` (the legacy reference oracle).  The ``REPRO_SCHEDULER``
+    environment variable overrides the default when no explicit argument
+    is given.
+    """
+    if algorithm is None:
+        algorithm = os.environ.get("REPRO_SCHEDULER", "single-pass")
+    if algorithm in ("fixpoint", "legacy"):
+        return schedule_fixpoint(program, costs)
+    if algorithm not in ("single-pass", "fast"):
+        raise ValueError(f"unknown scheduler algorithm {algorithm!r}")
+    return schedule_single_pass(program, costs)
+
+
+def _pack_channel(src: Pipe, dst: Pipe, event: int) -> int:
+    """Pack a (src_pipe, dst_pipe, event_id) channel into one int."""
+    return (event * _N_PIPES + src) * _N_PIPES + dst
+
+
+def _drain(instrs: List[Instruction], costs: CostModel
+           ) -> Tuple[List[int], List[int], List[Pipe], List[int]]:
+    """Core single-pass drain; returns (starts, ends, pipe_of, cost_of)."""
+    n = len(instrs)
+
+    # One prepass computes everything the drain loop needs as flat lists:
+    # per-pipe in-order queues, each instruction's pipe and cost, and —
+    # for flags — the packed channel int (+1, so 0 means "not a
+    # wait/set").  Compiled tile loops repeat a handful of distinct
+    # instruction objects thousands of times (flags are interned by the
+    # lowerer; repeated GEMMs share sub-program objects), so the whole
+    # record is memoized per instruction *object*: one ``id()`` and one
+    # dict probe per occurrence, with pipe lookup, cost dispatch and
+    # channel packing paid once per distinct object.
+    queues: List[List[int]] = [[] for _ in range(_N_PIPES)]
+    pipe_of: List[Pipe] = [Pipe.S] * n
+    cost_of = [0] * n
+    wait_chan = [0] * n
+    set_chan = [0] * n
+    memo: Dict[int, tuple] = {}
+    memo_get = memo.get
+    cost = costs.cost
+    for i, instr in enumerate(instrs):
+        key = id(instr)
+        rec = memo_get(key)
+        if rec is None:
+            cls = type(instr)
+            if cls is WaitFlag:
+                chan = 1 + _pack_channel(instr.src_pipe, instr.dst_pipe,
+                                         instr.event_id)
+                rec = (instr.pipe, cost(instr), chan, 0)
+            elif cls is SetFlag:
+                chan = 1 + _pack_channel(instr.src_pipe, instr.dst_pipe,
+                                         instr.event_id)
+                rec = (instr.pipe, cost(instr), 0, chan)
+            else:
+                rec = (instr.pipe, cost(instr), 0, 0)
+            memo[key] = rec
+        p, c, wc, sc = rec
+        pipe_of[i] = p
+        cost_of[i] = c
+        wait_chan[i] = wc
+        set_chan[i] = sc
+        queues[p].append(i)
+
+    cursors = [0] * _N_PIPES
+    pipe_time = [0] * _N_PIPES
+    # Completed set_flag times waiting to be consumed, FIFO per channel.
+    flags: Dict[int, Deque[int]] = {}
+    # channel -> pipe currently stalled on it (one consumer per channel).
+    waiters: Dict[int, int] = {}
+    runnable: Deque[int] = deque(p for p in range(_N_PIPES) if queues[p])
+    starts = [0] * n
+    ends = [0] * n
+    done = 0
+
+    while runnable:
+        pipe = runnable.popleft()
+        queue = queues[pipe]
+        cur = cursors[pipe]
+        now = pipe_time[pipe]
+        qlen = len(queue)
+        while cur < qlen:
+            index = queue[cur]
+            dispatch_ready = index // _DISPATCH_PER_CYCLE
+            start = now if now > dispatch_ready else dispatch_ready
+            channel = wait_chan[index]
+            if channel:
+                pending = flags.get(channel)
+                if not pending:
+                    waiters[channel] = pipe  # stalled: producer not ready
+                    break
+                signalled = pending.popleft()
+                if signalled > start:
+                    start = signalled
+            end = start + cost_of[index]
+            channel = set_chan[index]
+            if channel:
+                flags.setdefault(channel, deque()).append(end)
+                woken = waiters.pop(channel, None)
+                if woken is not None:
+                    runnable.append(woken)
+            now = end
+            starts[index] = start
+            ends[index] = end
+            cur += 1
+            done += 1
+        cursors[pipe] = cur
+        pipe_time[pipe] = now
+
+    if done < n:
+        stuck = {
+            str(Pipe(p)): f"#{queues[p][cursors[p]]} "
+                          f"{type(instrs[queues[p][cursors[p]]]).__name__}"
+            for p in range(_N_PIPES)
+            if cursors[p] < len(queues[p])
+        }
+        raise DeadlockError(
+            f"no runnable instruction; stalled pipe heads: {stuck}"
+        )
+
+    return starts, ends, pipe_of, cost_of
+
+
+def schedule_single_pass(program: Program, costs: CostModel) -> ExecutionTrace:
+    """Dependency-driven single-pass scheduler (O(instructions + stalls))."""
+    instrs = (program.instructions if isinstance(program, Program)
+              else list(program))
+    n = len(instrs)
+    starts, ends, pipe_of, _ = _drain(instrs, costs)
+
+    # Sort bare tuples (no key callable), then materialize events in
+    # final order — measurably cheaper than sorting TraceEvent objects.
+    order = sorted(zip(starts, ends, range(n)))
+    events = [
+        TraceEvent(i, instrs[i], pipe_of[i], start, end)
+        for start, end, i in order
+    ]
+    return ExecutionTrace(events=events)
+
+
+_MOVE_TYPES = (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)
+
+
+def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
+    """Schedule ``program`` and return only its :class:`TraceSummary`.
+
+    The compile path (``GraphEngine.compile_workload``) consumes nothing
+    but aggregate statistics, so this fast path skips materializing the
+    per-instruction ``TraceEvent`` list and the final deterministic sort
+    — the two dominant costs of :func:`schedule_single_pass` after the
+    drain loop itself.  Equal to ``schedule(program, costs).summary()``
+    by construction (asserted in tests/core/test_engine_equivalence.py).
+    """
+    instrs = (program.instructions if isinstance(program, Program)
+              else list(program))
+    _, ends, pipe_of, cost_of = _drain(instrs, costs)
+
+    busy = [0] * _N_PIPES
+    for p, c in zip(pipe_of, cost_of):
+        busy[p] += c
+
+    l1_read = l1_write = gm_read = gm_write = 0
+    L1, GM = MemSpace.L1, MemSpace.GM
+    for instr in instrs:
+        if isinstance(instr, _MOVE_TYPES):
+            src, dst = instr.src, instr.dst
+            if src.space is L1:
+                l1_read += src.nbytes
+            elif src.space is GM:
+                gm_read += dst.nbytes
+            if dst.space is L1:
+                l1_write += dst.nbytes
+            elif dst.space is GM:
+                gm_write += src.nbytes
+    return TraceSummary(
+        total_cycles=max(ends, default=0),
+        busy_by_pipe=tuple(busy),
+        l1_read_bytes=l1_read,
+        l1_write_bytes=l1_write,
+        gm_read_bytes=gm_read,
+        gm_write_bytes=gm_write,
+    )
+
+
+def schedule_fixpoint(program: Program, costs: CostModel) -> ExecutionTrace:
+    """The original rescan-to-fixpoint scheduler (reference oracle)."""
     queues: Dict[Pipe, Deque[Tuple[int, Instruction]]] = {p: deque() for p in Pipe}
     for index, instr in enumerate(program):
         queues[instr.pipe].append((index, instr))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Tuple
 
 from ..dtypes import DType
@@ -20,15 +21,20 @@ from ..errors import IsaError
 __all__ = ["MemSpace", "Region"]
 
 
-class MemSpace(enum.Enum):
-    """On-core scratchpads plus the external (global) memory."""
+class MemSpace(enum.IntEnum):
+    """On-core scratchpads plus the external (global) memory.
 
-    L0A = "l0a"  # cube input feature tiles
-    L0B = "l0b"  # cube weight tiles
-    L0C = "l0c"  # cube accumulator tiles
-    L1 = "l1"  # core-local staging buffer
-    UB = "ub"  # unified buffer (vector/scalar shared)
-    GM = "gm"  # global memory (LLC/HBM behind the BIU)
+    An ``IntEnum`` for the same reason as :class:`~repro.isa.pipes.Pipe`:
+    the cost model keys route tables by space in its hot path, and int
+    hashing is essentially free.
+    """
+
+    L0A = 0  # cube input feature tiles
+    L0B = 1  # cube weight tiles
+    L0C = 2  # cube accumulator tiles
+    L1 = 3  # core-local staging buffer
+    UB = 4  # unified buffer (vector/scalar shared)
+    GM = 5  # global memory (LLC/HBM behind the BIU)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
@@ -68,7 +74,11 @@ class Region:
                     f"pitch {self.pitch} smaller than row size {self.row_bytes}"
                 )
 
-    @property
+    # elems/nbytes are cached: the cost model and traffic accounting read
+    # them several times per instruction (caching is safe — the dataclass
+    # is frozen, and the cache lives in __dict__, outside field-based
+    # equality/hash).
+    @cached_property
     def elems(self) -> int:
         return math.prod(self.shape)
 
@@ -77,7 +87,7 @@ class Region:
         """Bytes in one row of a rank-2 region."""
         return math.ceil(self.shape[-1] * self.dtype.bits / 8)
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
         """Bytes of payload (what moves over a bus); excludes pitch gaps."""
         return math.ceil(self.elems * self.dtype.bits / 8)

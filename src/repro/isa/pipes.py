@@ -19,15 +19,20 @@ import enum
 __all__ = ["Pipe"]
 
 
-class Pipe(enum.Enum):
-    """One in-order execution queue inside the core."""
+class Pipe(enum.IntEnum):
+    """One in-order execution queue inside the core.
 
-    S = "scalar"
-    M = "cube"
-    V = "vector"
-    MTE1 = "mte1"
-    MTE2 = "mte2"
-    MTE3 = "mte3"
+    An ``IntEnum`` so members hash and index as plain ints: the timing
+    engine keys per-pipe state by ``int(pipe)`` in its hot loop, which
+    avoids ~400k ``Enum.__hash__`` calls per large-model compile.
+    """
+
+    S = 0  # scalar
+    M = 1  # cube
+    V = 2  # vector
+    MTE1 = 3
+    MTE2 = 4
+    MTE3 = 5
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name

@@ -61,6 +61,12 @@ class DatapathModel:
             # SRAM/DDR — model that as the UB-port width.
             Route.GM_PORT: gm if gm is not None else config.ub_bytes_per_cycle,
         }
+        # (src, dst) -> bus width, filled on first use: skips the
+        # route_for branches on the cost model's hottest call.
+        self._pair_bytes_per_cycle: Dict[tuple, float] = {}
+        # (src, dst, nbytes) -> cycles; tiled programs repeat a handful
+        # of distinct transfer shapes thousands of times.
+        self._cycles_cache: Dict[tuple, int] = {}
 
     def bytes_per_cycle(self, route: Route) -> float:
         return self._bytes_per_cycle[route]
@@ -69,7 +75,13 @@ class DatapathModel:
         """Cycles to move ``nbytes`` from ``src`` to ``dst``."""
         if nbytes <= 0:
             return self.TRANSFER_OVERHEAD_CYCLES
-        route = route_for(src, dst)
-        return self.TRANSFER_OVERHEAD_CYCLES + math.ceil(
-            nbytes / self._bytes_per_cycle[route]
-        )
+        key = (src, dst, nbytes)
+        cycles = self._cycles_cache.get(key)
+        if cycles is None:
+            width = self._pair_bytes_per_cycle.get((src, dst))
+            if width is None:
+                width = self._bytes_per_cycle[route_for(src, dst)]
+                self._pair_bytes_per_cycle[(src, dst)] = width
+            cycles = self.TRANSFER_OVERHEAD_CYCLES + math.ceil(nbytes / width)
+            self._cycles_cache[key] = cycles
+        return cycles

@@ -1,0 +1,82 @@
+"""Parallel sweep harness: ordering, fallback, warm seeding."""
+
+import os
+
+import pytest
+
+from repro.bench import run_sweep, sweep_workers
+
+_WARM_STATE = {"token": 0}
+
+
+def _square(job):
+    return job * job
+
+
+def _pid_and_square(job):
+    return os.getpid(), job * job
+
+
+def _read_warm_token(_job):
+    # Fork-spawned workers inherit the parent's memory at fork time, so
+    # they observe whatever ``warm`` wrote before the pool started.
+    return _WARM_STATE["token"]
+
+
+def _boom(job):
+    raise RuntimeError(f"job {job} failed")
+
+
+class TestRunSweep:
+    def test_matches_serial_map_in_order(self):
+        jobs = list(range(17))
+        assert run_sweep(jobs, _square) == [j * j for j in jobs]
+
+    def test_empty_jobs(self):
+        assert run_sweep([], _square) == []
+
+    def test_parallel_uses_multiple_processes(self):
+        if sweep_workers(8) < 2:
+            pytest.skip("single-CPU environment")
+        results = run_sweep(range(8), _pid_and_square, max_workers=4)
+        assert [sq for _, sq in results] == [j * j for j in range(8)]
+        assert all(pid != os.getpid() for pid, _ in results)
+
+    def test_env_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        results = run_sweep(range(4), _pid_and_square)
+        assert all(pid == os.getpid() for pid, _ in results)
+
+    def test_env_caps_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert sweep_workers(100) == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "not-a-number")
+        assert sweep_workers(100) == 1
+
+    def test_workers_never_exceed_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert sweep_workers(2) <= 2
+
+    def test_warm_seeds_forked_workers(self, monkeypatch):
+        monkeypatch.setitem(_WARM_STATE, "token", 0)
+
+        def warm():
+            _WARM_STATE["token"] = 41
+
+        results = run_sweep(range(4), _read_warm_token, max_workers=2,
+                            warm=warm)
+        assert results == [41] * 4
+
+    def test_unpicklable_worker_falls_back_to_serial(self):
+        captured = []
+
+        def closure_worker(job):  # closures cannot be pickled
+            captured.append(job)
+            return -job
+
+        assert run_sweep(range(5), closure_worker, max_workers=2) \
+            == [-j for j in range(5)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="failed"):
+            run_sweep(range(3), _boom, max_workers=2)

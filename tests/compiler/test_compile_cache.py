@@ -1,0 +1,142 @@
+"""Persistent compile cache: keys, round-trips, invalidation, stats."""
+
+import json
+
+import pytest
+
+from repro.compiler import GraphEngine
+from repro.compiler import cache
+from repro.config import ASCEND, ASCEND_MAX
+from repro.graph.workload import GemmWork, OpWorkload, VectorWork
+from repro.models import build_model
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache.reset_stats()
+    yield tmp_path
+    cache.reset_stats()
+
+
+@pytest.fixture()
+def fresh_engine():
+    """A GraphEngine without the process-global memory cache, so tests
+    exercise the persistent tier."""
+    engine = GraphEngine(ASCEND)
+    engine._cache = {}
+    return engine
+
+
+_WORK = OpWorkload(
+    name="unit",
+    gemms=(GemmWork(m=64, k=64, n=64),),
+    vector=(VectorWork(elems=4096),),
+    weight_bytes=8192, input_bytes=8192, output_bytes=8192,
+)
+
+
+class TestContentKey:
+    def test_stable_and_input_sensitive(self):
+        key = cache.content_key(ASCEND, _WORK)
+        assert key == cache.content_key(ASCEND, _WORK)
+        assert key != cache.content_key(ASCEND_MAX, _WORK)
+        other = OpWorkload(name="unit", gemms=(GemmWork(m=128, k=64, n=64),),
+                           vector=_WORK.vector, weight_bytes=8192,
+                           input_bytes=8192, output_bytes=8192)
+        assert key != cache.content_key(ASCEND, other)
+        assert key != cache.content_key(ASCEND, _WORK, a_bytes_scale=0.5)
+        assert key != cache.content_key(ASCEND, _WORK, weight_density=0.4)
+
+    def test_name_does_not_affect_key(self):
+        renamed = OpWorkload(name="other", gemms=_WORK.gemms,
+                             vector=_WORK.vector, weight_bytes=8192,
+                             input_bytes=8192, output_bytes=8192)
+        # Identity fields are part of the workload dataclass, so a rename
+        # *does* change the hash — pin that behaviour explicitly.
+        assert cache.content_key(ASCEND, _WORK) \
+            != cache.content_key(ASCEND, renamed)
+
+
+class TestPersistentRoundTrip:
+    def test_disk_hit_matches_compiled(self, cache_dir, fresh_engine):
+        cold = fresh_engine.compile_workload(_WORK)
+        assert cache.stats()["stores"] == 1
+
+        rebuilt = GraphEngine(ASCEND)
+        rebuilt._cache = {}
+        warm = rebuilt.compile_workload(_WORK)
+        assert cache.stats()["hits"] == 1
+        assert warm == cold
+
+    def test_memory_tier_skips_disk(self, cache_dir, fresh_engine):
+        fresh_engine.compile_workload(_WORK)
+        fresh_engine.compile_workload(_WORK, name="again")
+        stats = cache.stats()
+        assert stats["memory_hits"] == 1
+        assert stats["hits"] == 0  # disk never consulted twice
+
+    def test_relabel_keeps_statistics(self, cache_dir, fresh_engine):
+        first = fresh_engine.compile_workload(_WORK)
+        second = fresh_engine.compile_workload(_WORK, name="alias")
+        assert second.name == "alias"
+        assert second.cycles == first.cycles
+        assert second.instr_count == first.instr_count
+
+    def test_disabled_by_env(self, cache_dir, fresh_engine, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        fresh_engine.compile_workload(_WORK)
+        assert not any(cache_dir.iterdir())
+        assert cache.stats()["stores"] == 0
+
+
+class TestInvalidation:
+    def test_schema_mismatch_is_a_miss(self, cache_dir, fresh_engine):
+        fresh_engine.compile_workload(_WORK)
+        key = cache.content_key(ASCEND, _WORK)
+        path = cache.cache_dir() / f"{key}.json"
+        payload = json.loads(path.read_text())
+        payload["schema"] = cache.SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(key) is None
+
+    def test_corrupt_entry_is_tolerated(self, cache_dir, fresh_engine):
+        cold = fresh_engine.compile_workload(_WORK)
+        key = cache.content_key(ASCEND, _WORK)
+        (cache.cache_dir() / f"{key}.json").write_text("{not json")
+        rebuilt = GraphEngine(ASCEND)
+        rebuilt._cache = {}
+        recompiled = rebuilt.compile_workload(_WORK)
+        assert recompiled == cold
+        assert cache.stats()["errors"] >= 1
+
+    def test_incomplete_entry_recompiles(self, cache_dir, fresh_engine):
+        cold = fresh_engine.compile_workload(_WORK)
+        key = cache.content_key(ASCEND, _WORK)
+        (cache.cache_dir() / f"{key}.json").write_text(
+            json.dumps({"schema": cache.SCHEMA_VERSION, "cycles": 1}))
+        rebuilt = GraphEngine(ASCEND)
+        rebuilt._cache = {}
+        assert rebuilt.compile_workload(_WORK) == cold
+
+
+class TestModelLevel:
+    def test_fresh_process_equivalence(self, cache_dir):
+        """A model compiled against a cold cache and one compiled from
+        the persisted entries agree on every statistic."""
+        graph = build_model("gesture", batch=1)
+        cold_engine = GraphEngine(ASCEND)
+        cold_engine._cache = {}
+        cold = cold_engine.compile_graph(graph)
+
+        warm_engine = GraphEngine(ASCEND)
+        warm_engine._cache = {}
+        warm = warm_engine.compile_graph(graph)
+        assert warm.total_cycles == cold.total_cycles
+        assert [l.cycles for l in warm.layers] \
+            == [l.cycles for l in cold.layers]
+        # Every distinct layer group came from disk (identical groups
+        # within the model hit the in-memory tier instead).
+        stats = cache.stats()
+        assert stats["hits"] >= 1
+        assert stats["hits"] + stats["memory_hits"] >= len(cold.layers)

@@ -1,0 +1,169 @@
+"""The single-pass scheduler must be bit-identical to the fixpoint oracle.
+
+Both schedulers drain the same in-order per-pipe queues over
+single-producer/single-consumer flag channels, so start/end times are
+independent of visit order — these tests pin that equivalence on
+randomized multi-pipe programs (including the DeadlockError path) and on
+the real compiled corpus.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.lowering import lower_workload
+from repro.config import ASCEND, ASCEND_MAX
+from repro.core.costs import CostModel
+from repro.core.engine import (
+    schedule,
+    schedule_fixpoint,
+    schedule_single_pass,
+    schedule_summary,
+)
+from repro.errors import DeadlockError
+from repro.isa import (
+    CopyInstr,
+    CubeMatmul,
+    MemSpace,
+    Pipe,
+    Program,
+    Region,
+    ScalarInstr,
+    SetFlag,
+    WaitFlag,
+)
+from repro.dtypes import FP16, FP32
+from repro.models import build_model
+
+_COSTS = CostModel(ASCEND_MAX)
+
+_PIPES = [Pipe.M, Pipe.V, Pipe.MTE1, Pipe.MTE2, Pipe.MTE3, Pipe.S]
+
+
+def _payload(rng: np.random.Generator):
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        return CubeMatmul(
+            a=Region(MemSpace.L0A, 0, (16, 16), FP16),
+            b=Region(MemSpace.L0B, 0, (16, 16), FP16),
+            c=Region(MemSpace.L0C, 0, (16, 16), FP32),
+        )
+    if kind == 1:
+        return CopyInstr(
+            dst=Region(MemSpace.L1, 0, (64,), FP16),
+            src=Region(MemSpace.GM, 0, (64,), FP16),
+        )
+    return ScalarInstr(op="nop", cycles=int(rng.integers(1, 5)))
+
+
+def _random_flagged_program(rng: np.random.Generator, n: int,
+                            allow_deadlock: bool) -> Program:
+    """Multi-pipe payload with set/wait chains.
+
+    Sets are emitted eagerly and their waits deferred a random distance,
+    producing cross-pipe chains rather than adjacent pairs.  With
+    ``allow_deadlock`` the program may contain a wait whose producer
+    never signals.
+    """
+    instrs = []
+    deferred = []  # pending WaitFlags not yet emitted
+    for _ in range(n):
+        instrs.append(_payload(rng))
+        roll = rng.random()
+        if roll < 0.35:
+            src, dst = rng.choice(len(_PIPES), size=2, replace=False)
+            flag = SetFlag(src_pipe=_PIPES[src], dst_pipe=_PIPES[dst],
+                           event_id=int(rng.integers(0, 4)))
+            instrs.append(flag)
+            deferred.append(WaitFlag(src_pipe=flag.src_pipe,
+                                     dst_pipe=flag.dst_pipe,
+                                     event_id=flag.event_id))
+        elif roll < 0.6 and deferred:
+            instrs.append(deferred.pop(int(rng.integers(0, len(deferred)))))
+    instrs.extend(deferred)  # close every chain
+    if allow_deadlock and rng.random() < 0.5:
+        src, dst = rng.choice(len(_PIPES), size=2, replace=False)
+        # A wait nobody will ever signal.
+        instrs.insert(
+            int(rng.integers(0, len(instrs) + 1)),
+            WaitFlag(src_pipe=_PIPES[src], dst_pipe=_PIPES[dst], event_id=7),
+        )
+    return Program(instrs)
+
+
+class TestSchedulerEquivalence:
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_traces_bit_identical(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=False)
+        fast = schedule_single_pass(program, _COSTS)
+        oracle = schedule_fixpoint(program, _COSTS)
+        assert fast.events == oracle.events
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_deadlock_agreement(self, seed, n):
+        """Both schedulers agree on *whether* a program deadlocks, and on
+        the surviving trace when it does not."""
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=True)
+        try:
+            oracle = schedule_fixpoint(program, _COSTS)
+        except DeadlockError:
+            with pytest.raises(DeadlockError):
+                schedule_single_pass(program, _COSTS)
+        else:
+            assert schedule_single_pass(program, _COSTS).events == oracle.events
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_summary_matches_trace(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=False)
+        assert schedule_summary(program, _COSTS) \
+            == schedule_single_pass(program, _COSTS).summary()
+
+
+class TestCompiledCorpusEquivalence:
+    def test_resnet50_corpus_bit_identical(self):
+        """Every compiled ResNet-50 layer program schedules identically
+        under both algorithms, and the one-pass summary agrees with the
+        legacy per-query aggregates."""
+        graph = build_model("resnet50", batch=1)
+        costs = CostModel(ASCEND)
+        for _, work in graph.grouped_workloads():
+            program = lower_workload(work, ASCEND)
+            fast = schedule_single_pass(program, costs)
+            oracle = schedule_fixpoint(program, costs)
+            assert fast.events == oracle.events
+            summary = schedule_summary(program, costs)
+            assert summary.total_cycles == oracle.total_cycles
+            for pipe in Pipe:
+                assert summary.busy_cycles(pipe) == oracle.busy_cycles(pipe)
+            assert (summary.l1_read_bytes, summary.l1_write_bytes) \
+                == oracle.l1_traffic_bytes()
+            assert (summary.gm_read_bytes, summary.gm_write_bytes) \
+                == oracle.gm_traffic_bytes()
+
+
+class TestSchedulerSelection:
+    def test_explicit_algorithm_argument(self):
+        program = Program([ScalarInstr(op="nop", cycles=3)])
+        for algorithm in ("single-pass", "fast", "fixpoint", "legacy"):
+            trace = schedule(program, _COSTS, algorithm=algorithm)
+            assert trace.events[0].end == 3
+        with pytest.raises(ValueError):
+            schedule(program, _COSTS, algorithm="simulated-annealing")
+
+    def test_env_selects_legacy(self, monkeypatch):
+        calls = []
+        program = Program([ScalarInstr(op="nop", cycles=1)])
+        monkeypatch.setenv("REPRO_SCHEDULER", "fixpoint")
+        import repro.core.engine as engine_mod
+        monkeypatch.setattr(
+            engine_mod, "schedule_fixpoint",
+            lambda p, c: calls.append("fixpoint") or schedule_single_pass(p, c))
+        schedule(program, _COSTS)
+        assert calls == ["fixpoint"]
