@@ -2,10 +2,18 @@
 # without an editable install.
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-speed ci
+.PHONY: test test-equiv bench bench-speed ci
 
 test:
 	$(PY) -m pytest -x -q
+
+# Equivalence gates: columnar trace aggregates vs the legacy event walk,
+# parallel functional execution vs the serial oracle, and the fast
+# scheduler vs the fixpoint oracle.
+test-equiv:
+	$(PY) -m pytest -q tests/core/test_trace_columnar.py \
+		tests/core/test_functional_parallel.py \
+		tests/core/test_engine_equivalence.py
 
 bench:
 	$(PY) -m pytest benchmarks/ -q
@@ -13,5 +21,6 @@ bench:
 bench-speed:
 	$(PY) benchmarks/bench_sim_speed.py --smoke
 
-# CI gate: the tier-1 suite plus a ~10 s simulator-speed smoke run.
-ci: test bench-speed
+# CI gate: the tier-1 suite, the equivalence suites, and a ~10 s
+# simulator-speed smoke run.
+ci: test test-equiv bench-speed

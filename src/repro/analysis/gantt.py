@@ -4,22 +4,19 @@ One row per pipe, time flowing right; busy intervals are drawn with the
 instruction class's letter (M cube, V vector, 1/2/3 the MTEs, s scalar).
 Used by examples and handy when debugging synchronization in compiled
 kernels.
+
+Binning is columnar: intervals are clipped and painted per pipe with
+difference-array coverage over the trace's numpy columns, so rendering a
+million-event trace never materializes an event object.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
-from ..core.trace import ExecutionTrace
-from ..isa.instructions import (
-    CopyInstr,
-    CubeMatmul,
-    DecompressInstr,
-    Img2ColInstr,
-    ScalarInstr,
-    TransposeInstr,
-    VectorInstr,
-)
+import numpy as np
+
+from ..core.trace import KIND_NONE, ExecutionTrace
 from ..isa.pipes import Pipe
 
 __all__ = ["render_gantt"]
@@ -32,8 +29,6 @@ _GLYPH = {
     Pipe.MTE3: "3",
     Pipe.S: "s",
 }
-_PAYLOAD = (CubeMatmul, VectorInstr, CopyInstr, Img2ColInstr,
-            TransposeInstr, DecompressInstr, ScalarInstr)
 
 
 def render_gantt(trace: ExecutionTrace, width: int = 100,
@@ -54,23 +49,28 @@ def render_gantt(trace: ExecutionTrace, width: int = 100,
     span = hi - lo
     scale = width / span
 
-    rows: Dict[Pipe, List[str]] = {p: [" "] * width for p in Pipe}
-    for event in trace.events:
-        if not isinstance(event.instr, _PAYLOAD):
-            continue
-        if event.end <= lo or event.start >= hi:
-            continue
-        start_col = max(0, int((event.start - lo) * scale))
-        end_col = min(width, max(start_col + 1, int((event.end - lo) * scale)))
-        glyph = _GLYPH[event.pipe]
-        row = rows[event.pipe]
-        for col in range(start_col, end_col):
-            row[col] = glyph
+    starts = trace.starts
+    ends = trace.ends
+    pipes = trace.pipes
+    visible = (trace.kinds != KIND_NONE) & (ends > lo) & (starts < hi)
+    start_col = np.maximum(0, ((starts - lo) * scale).astype(np.int64))
+    end_col = np.minimum(
+        width, np.maximum(start_col + 1, ((ends - lo) * scale).astype(np.int64))
+    )
 
     lines = [f"cycles [{lo}, {hi})  ('{_GLYPH[Pipe.M]}'=cube, "
              f"'{_GLYPH[Pipe.V]}'=vector, '1/2/3'=MTE, 's'=scalar)"]
     for pipe in (Pipe.MTE2, Pipe.MTE1, Pipe.M, Pipe.V, Pipe.MTE3, Pipe.S):
-        body = "".join(rows[pipe])
+        mask = visible & (pipes == int(pipe))
+        covered = np.zeros(width, bool)
+        if mask.any():
+            # Difference-array coverage: +1 at each interval start, -1
+            # past its end; a positive running sum marks a busy column.
+            diff = np.zeros(width + 1, np.int64)
+            np.add.at(diff, start_col[mask], 1)
+            np.add.at(diff, end_col[mask], -1)
+            covered = np.cumsum(diff[:width]) > 0
+        body = "".join(_GLYPH[pipe] if c else " " for c in covered)
         if body.strip() or pipe is not Pipe.S:
             busy = trace.busy_cycles(pipe)
             lines.append(f"{pipe.name:>4} |{body}| {busy:,}")

@@ -32,7 +32,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 __all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
-           "load", "store", "note_memory_hit", "stats", "reset_stats"]
+           "load", "store", "model_content_key", "load_model", "store_model",
+           "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats"]
 
 # Bump when lowering, the cost model, or the payload shape changes.
 SCHEMA_VERSION = 1
@@ -42,7 +43,8 @@ _ENV_ENABLE = "REPRO_CACHE"
 _DEFAULT_DIR = ".repro_cache"
 
 _STATS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0,
-          "memory_hits": 0}
+          "memory_hits": 0, "model_hits": 0, "model_stores": 0,
+          "model_memory_hits": 0}
 
 
 def enabled() -> bool:
@@ -143,9 +145,61 @@ def store(key: str, payload: Dict[str, Any]) -> None:
     _STATS["stores"] += 1
 
 
+def model_content_key(config: Any, pairs: Any,
+                      scales: Optional[Dict[str, float]] = None) -> str:
+    """sha256 over a whole model's compile inputs.
+
+    ``pairs`` is the ordered ``(group name, OpWorkload)`` sequence that
+    :meth:`GraphEngine.compile_graph` lowers; ``scales`` the per-group
+    im2col GM-fetch scales.  Hashing the ordered sequence (rather than
+    the graph object) makes the key independent of graph construction
+    details that do not reach the compiler.
+    """
+    scales = scales or {}
+    blob = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": _canonical(config),
+            "layers": [
+                {
+                    "group": group,
+                    "workload": _canonical(work),
+                    "a_bytes_scale": scales.get(group, 1.0),
+                }
+                for group, work in pairs
+            ],
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_model(key: str) -> Optional[Dict[str, Any]]:
+    """Whole-model payload for ``key`` (same miss semantics as
+    :func:`load`; model entries live under a ``model-`` filename prefix
+    in the same versioned directory)."""
+    payload = load(f"model-{key}")
+    if payload is not None:
+        _STATS["model_hits"] += 1
+    return payload
+
+
+def store_model(key: str, payload: Dict[str, Any]) -> None:
+    """Persist a whole-model artifact (atomic, failure-tolerant)."""
+    before = _STATS["stores"]
+    store(f"model-{key}", payload)
+    if _STATS["stores"] > before:  # not disabled, not an I/O error
+        _STATS["model_stores"] += 1
+
+
 def note_memory_hit() -> None:
     """Record an in-memory (process-local) cache hit for :func:`stats`."""
     _STATS["memory_hits"] += 1
+
+
+def note_model_memory_hit() -> None:
+    """Record an in-memory whole-model cache hit for :func:`stats`."""
+    _STATS["model_memory_hits"] += 1
 
 
 def stats() -> Dict[str, Any]:

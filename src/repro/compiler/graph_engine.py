@@ -123,6 +123,9 @@ class GraphEngine:
     """
 
     _GLOBAL_CACHE: Dict[Tuple, CompiledLayer] = {}
+    # Whole-model artifacts (ordered CompiledLayer lists) keyed by
+    # cache.model_content_key — the third caching tier above per-layer.
+    _GLOBAL_MODEL_CACHE: Dict[str, List[CompiledLayer]] = {}
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
@@ -208,15 +211,67 @@ class GraphEngine:
         ``workloads`` overrides the graph's own grouped workloads — the
         training path passes :func:`~repro.models.training.training_workloads`
         output here.
+
+        Whole models are cached as artifacts, memory -> disk ->
+        recompile: the key hashes the ordered (group, workload, scale)
+        sequence plus the design point, so a warm process rebuilds
+        ResNet-50/BERT (and the stream schedules derived from them via
+        :meth:`to_streams`) without lowering or scheduling a single
+        layer.
         """
-        pairs = workloads if workloads is not None else graph.grouped_workloads()
+        pairs = list(workloads if workloads is not None
+                     else graph.grouped_workloads())
         scales = _im2col_scales(graph)
+        key = cache.model_content_key(self.config, pairs, scales)
+
+        cached = GraphEngine._GLOBAL_MODEL_CACHE.get(key)
+        if cached is not None:
+            cache.note_model_memory_hit()
+            layers = [self._relabel(layer, work, group)
+                      for layer, (group, work) in zip(cached, pairs)]
+            return CompiledModel(name=graph.name, config=self.config,
+                                 layers=layers)
+
+        payload = cache.load_model(key)
+        if payload is not None:
+            layers = self._model_from_payload(payload, pairs)
+            if layers is not None:
+                GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
+                return CompiledModel(name=graph.name, config=self.config,
+                                     layers=layers)
+
         layers = [
             self.compile_workload(work, name=group,
                                   a_bytes_scale=scales.get(group, 1.0))
             for group, work in pairs
         ]
+        GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
+        cache.store_model(key, {
+            "layers": [
+                {field: getattr(layer, field) for field in _PAYLOAD_FIELDS}
+                for layer in layers
+            ],
+        })
         return CompiledModel(name=graph.name, config=self.config, layers=layers)
+
+    @staticmethod
+    def _model_from_payload(payload: dict, pairs: Sequence[Tuple[str, OpWorkload]]
+                            ) -> Optional[List[CompiledLayer]]:
+        """Rebuild the layer list from a persisted model artifact, or
+        None when the entry is incomplete (treated as a miss)."""
+        entries = payload.get("layers")
+        if not isinstance(entries, list) or len(entries) != len(pairs):
+            return None
+        layers = []
+        for entry, (group, work) in zip(entries, pairs):
+            try:
+                layers.append(CompiledLayer(
+                    name=group, workload=work,
+                    **{field: entry[field] for field in _PAYLOAD_FIELDS},
+                ))
+            except (KeyError, TypeError):
+                return None
+        return layers
 
     def to_streams(self, compiled: CompiledModel, blocks_per_task: int = 1
                    ) -> Stream:

@@ -12,15 +12,17 @@ two coupled modes:
 """
 
 from .costs import CostModel
-from .trace import TraceEvent, ExecutionTrace
+from .trace import TraceEvent, ExecutionTrace, TraceSummary
 from .engine import schedule
-from .core import AscendCore, RunResult
+from .core import AscendCore, RunResult, resolve_workers
 
 __all__ = [
     "CostModel",
     "TraceEvent",
     "ExecutionTrace",
+    "TraceSummary",
     "schedule",
     "AscendCore",
     "RunResult",
+    "resolve_workers",
 ]

@@ -5,12 +5,32 @@ and a :class:`~repro.core.costs.CostModel` for its design point.  ``run``
 first derives the schedule (Figure 3 semantics), then — unless timing-only
 — replays the instructions functionally in causal (start-time) order, so
 results are correct for any legally synchronized program.
+
+Functional replay has two modes:
+
+* **serial** (the oracle): one instruction at a time, in causal order —
+  bit-exact by construction, and the reference the parallel mode is
+  tested against.
+* **wavefront-parallel**: the scheduled trace is partitioned into waves
+  of instructions whose busy intervals mutually overlap.  Overlap on the
+  timeline proves independence — any flag edge or same-pipe program
+  order forces the consumer to start at or after the producer's end — so
+  a wave's tile ops touch disjoint state and dispatch together across a
+  thread pool.  numpy kernels release the GIL, so tiles compute
+  concurrently; waves are separated by barriers, preserving every
+  producer -> consumer edge and therefore the serial mode's results
+  bit-for-bit.
+
+Worker count comes from the ``workers`` argument, falling back to the
+``REPRO_FUNC_WORKERS`` environment variable (default 1 = serial oracle).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..config.core_configs import CoreConfig
 from ..errors import IsaError
@@ -41,7 +61,29 @@ from .mte import (
 from .trace import ExecutionTrace
 from .vector import execute_vector
 
-__all__ = ["AscendCore", "RunResult"]
+__all__ = ["AscendCore", "RunResult", "resolve_workers"]
+
+_ENV_WORKERS = "REPRO_FUNC_WORKERS"
+
+# Waves shorter than this run inline even in parallel mode: dispatching
+# a couple of tiles to a pool costs more than the GIL it frees.
+_MIN_PARALLEL_WAVE = 2
+
+
+def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
+    """Effective functional worker count.
+
+    ``None`` defers to ``REPRO_FUNC_WORKERS`` (default 1).  ``"serial"``
+    and ``"oracle"`` force the serial path; any integer below 2 does the
+    same.
+    """
+    if workers is None:
+        workers = os.environ.get(_ENV_WORKERS, "1")
+    if isinstance(workers, str):
+        if workers.strip().lower() in ("serial", "oracle", ""):
+            return 1
+        workers = int(workers)
+    return max(1, workers)
 
 
 @dataclass
@@ -69,7 +111,8 @@ class AscendCore:
         self.costs = CostModel(config)
 
     def run(self, program: Program, functional: bool = True,
-            validate: bool = True) -> RunResult:
+            validate: bool = True,
+            workers: Optional[Union[int, str]] = None) -> RunResult:
         """Execute a program; returns timing (and mutates GM if functional).
 
         Args:
@@ -78,14 +121,35 @@ class AscendCore:
                 for full-network performance studies where numerics are
                 irrelevant and weights would not fit in simulation memory.
             validate: run static program validation first.
+            workers: functional thread count (default: the
+                ``REPRO_FUNC_WORKERS`` environment variable, serial when
+                unset).  Values below 2 select the serial oracle.
         """
         if validate:
             program.validate(self.config)
         trace = schedule(program, self.costs)
         if functional:
-            for event in trace.events:
-                self._execute(event.instr)
+            self._replay(trace, resolve_workers(workers))
         return RunResult(trace=trace, config=self.config)
+
+    # -- functional replay ----------------------------------------------------
+
+    def _replay(self, trace: ExecutionTrace, workers: int) -> None:
+        if workers <= 1:
+            for instr in trace.functional_instructions():
+                self._execute(instr)
+            return
+        waves = trace.wavefronts()
+        execute = self._execute
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for wave in waves:
+                if len(wave) < _MIN_PARALLEL_WAVE:
+                    for instr in wave:
+                        execute(instr)
+                else:
+                    # list() drains the iterator so the first worker
+                    # exception propagates rather than being dropped.
+                    list(pool.map(execute, wave))
 
     def _execute(self, instr: Instruction) -> None:
         if isinstance(instr, CubeMatmul):

@@ -33,6 +33,8 @@ import os
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import DeadlockError
 from ..isa.instructions import (
     CopyInstr,
@@ -193,21 +195,36 @@ def _drain(instrs: List[Instruction], costs: CostModel
     return starts, ends, pipe_of, cost_of
 
 
+def _columnar_trace(instrs: List[Instruction], starts: List[int],
+                    ends: List[int], pipe_of: List[Pipe]) -> ExecutionTrace:
+    """Sort scheduler output by (start, end, index) and build the trace.
+
+    Emits straight into the columnar arena — no per-event Python objects
+    are created (``TraceEvent`` is only ever materialized lazily from the
+    trace's ``events`` view).
+    """
+    n = len(instrs)
+    start_col = np.asarray(starts, np.int64)
+    end_col = np.asarray(ends, np.int64)
+    index_col = np.arange(n, dtype=np.int64)
+    # lexsort's last key is primary: (start, end, index), matching the
+    # legacy deterministic event order.
+    order = np.lexsort((index_col, end_col, start_col))
+    return ExecutionTrace.from_columns(
+        instrs=[instrs[i] for i in order],
+        index=index_col[order],
+        pipe=np.asarray(pipe_of, np.int8)[order],
+        start=start_col[order],
+        end=end_col[order],
+    )
+
+
 def schedule_single_pass(program: Program, costs: CostModel) -> ExecutionTrace:
     """Dependency-driven single-pass scheduler (O(instructions + stalls))."""
     instrs = (program.instructions if isinstance(program, Program)
               else list(program))
-    n = len(instrs)
     starts, ends, pipe_of, _ = _drain(instrs, costs)
-
-    # Sort bare tuples (no key callable), then materialize events in
-    # final order — measurably cheaper than sorting TraceEvent objects.
-    order = sorted(zip(starts, ends, range(n)))
-    events = [
-        TraceEvent(i, instrs[i], pipe_of[i], start, end)
-        for start, end, i in order
-    ]
-    return ExecutionTrace(events=events)
+    return _columnar_trace(instrs, starts, ends, pipe_of)
 
 
 _MOVE_TYPES = (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)

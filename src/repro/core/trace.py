@@ -3,20 +3,40 @@
 The analysis harness consumes traces to reproduce the paper's per-layer
 figures: cube/vector busy-cycle ratios (Figures 4-8) and L1 bandwidth
 profiles (Figure 9).
+
+Storage is *columnar*: one growable arena of parallel numpy arrays
+(program index, pipe, start, end, interned tag id, move route and byte
+counts) instead of a Python list of event objects.  Every aggregate
+query — ``total_cycles``, ``busy_cycles``, ``span``, L1/GM traffic,
+per-tag breakdowns — is a masked reduction over those columns, and the
+schedulers emit into the arena directly (:meth:`ExecutionTrace.
+from_columns`), so no per-event Python objects exist on the hot path.
+:class:`TraceEvent` survives as a lazy *view*: ``trace.events`` is a
+sequence that materializes events on demand for consumers that want the
+row-oriented picture (functional replay debugging, tests, examples).
+
+Tag strings are interned per trace: the arena stores an ``int32`` id per
+event plus one shared table of distinct tag strings, so a full BERT
+trace holds each layer tag once rather than once per event.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from ..isa.instructions import (
     CopyInstr,
+    CubeMatmul,
     DecompressInstr,
     Img2ColInstr,
     Instruction,
+    ScalarInstr,
     TransposeInstr,
+    VectorInstr,
 )
 from ..isa.memref import MemSpace
 from ..isa.pipes import Pipe
@@ -25,10 +45,43 @@ __all__ = ["TraceEvent", "ExecutionTrace", "TraceSummary"]
 
 _MOVE_TYPES = (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)
 
+# Instruction-class codes stored in the ``kind`` column.  They drive the
+# functional dispatch and the gantt payload filter without isinstance
+# checks per event.
+KIND_NONE = 0  # flags, barriers: no architectural state outside the schedule
+KIND_CUBE = 1
+KIND_VECTOR = 2
+KIND_COPY = 3
+KIND_IMG2COL = 4
+KIND_TRANSPOSE = 5
+KIND_DECOMP = 6
+KIND_SCALAR = 7
 
-@dataclass(frozen=True)
+_KIND_OF_TYPE = {
+    CubeMatmul: KIND_CUBE,
+    VectorInstr: KIND_VECTOR,
+    CopyInstr: KIND_COPY,
+    Img2ColInstr: KIND_IMG2COL,
+    TransposeInstr: KIND_TRANSPOSE,
+    DecompressInstr: KIND_DECOMP,
+    ScalarInstr: KIND_SCALAR,
+}
+
+# Kinds that move bytes between memory spaces (the traffic columns).
+_MOVE_KINDS = (KIND_COPY, KIND_IMG2COL, KIND_TRANSPOSE, KIND_DECOMP)
+
+# Kinds with a functional effect on scratchpad/GM state.
+FUNCTIONAL_KINDS = (KIND_CUBE, KIND_VECTOR, KIND_COPY, KIND_IMG2COL,
+                    KIND_TRANSPOSE, KIND_DECOMP)
+
+
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One instruction's occupancy of its pipe."""
+    """One instruction's occupancy of its pipe.
+
+    A frozen, ``__slots__`` value object: traces materialize these lazily
+    from the columnar arena, so an event carries no per-instance dict.
+    """
 
     index: int  # program order
     instr: Instruction
@@ -61,15 +114,246 @@ class TraceSummary:
         return self.busy_by_pipe[pipe]
 
 
-@dataclass
-class ExecutionTrace:
-    """All events of one program run, with aggregate queries."""
+class _EventsView(Sequence):
+    """Lazy, immutable sequence of :class:`TraceEvent` over the arena.
 
-    events: List[TraceEvent] = field(default_factory=list)
+    Supports ``len``/iteration/indexing/slicing/``==`` like the list it
+    replaces; events are built on access and never stored.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "ExecutionTrace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return self._trace._n
+
+    def __getitem__(self, i):
+        t = self._trace
+        if isinstance(i, slice):
+            return [t._event_at(j) for j in range(*i.indices(t._n))]
+        n = t._n
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("trace event index out of range")
+        return t._event_at(i)
+
+    def __iter__(self):
+        t = self._trace
+        n = t._n
+        instrs = t._instrs
+        index = t._index[:n].tolist()
+        pipes = t._pipe[:n].tolist()
+        starts = t._start[:n].tolist()
+        ends = t._end[:n].tolist()
+        for i in range(n):
+            yield TraceEvent(index[i], instrs[i], Pipe(pipes[i]),
+                             starts[i], ends[i])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _EventsView):
+            a, b = self._trace, other._trace
+            n = a._n
+            if n != b._n:
+                return False
+            return (
+                np.array_equal(a._index[:n], b._index[:n])
+                and np.array_equal(a._pipe[:n], b._pipe[:n])
+                and np.array_equal(a._start[:n], b._start[:n])
+                and np.array_equal(a._end[:n], b._end[:n])
+                and a._instrs == b._instrs
+            )
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self):
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<events view: {len(self)} events>"
+
+
+class ExecutionTrace:
+    """All events of one program run, with aggregate queries.
+
+    Internally a columnar arena; ``events`` is a lazy row view kept for
+    API compatibility.  Aggregates are masked numpy reductions.
+    """
+
+    __slots__ = ("_n", "_instrs", "_index", "_pipe", "_start", "_end",
+                 "_tag_id", "_kind", "_src_space", "_dst_space",
+                 "_src_nbytes", "_dst_nbytes", "_tag_names", "_tag_ids",
+                 "_meta_memo")
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, events: Optional[Iterable[TraceEvent]] = None) -> None:
+        self._n = 0
+        self._instrs: List[Instruction] = []
+        self._tag_names: List[str] = [""]
+        self._tag_ids: Dict[str, int] = {"": 0}
+        self._meta_memo: Dict[int, tuple] = {}
+        self._allocate(self._INITIAL_CAPACITY)
+        if events:
+            self.extend(events)
+
+    def _allocate(self, capacity: int) -> None:
+        self._index = np.empty(capacity, np.int64)
+        self._pipe = np.empty(capacity, np.int8)
+        self._start = np.empty(capacity, np.int64)
+        self._end = np.empty(capacity, np.int64)
+        self._tag_id = np.empty(capacity, np.int32)
+        self._kind = np.empty(capacity, np.int8)
+        self._src_space = np.empty(capacity, np.int8)
+        self._dst_space = np.empty(capacity, np.int8)
+        self._src_nbytes = np.empty(capacity, np.int64)
+        self._dst_nbytes = np.empty(capacity, np.int64)
+
+    def _grow(self) -> None:
+        capacity = max(self._INITIAL_CAPACITY, 2 * len(self._index))
+        old = {name: getattr(self, name) for name in (
+            "_index", "_pipe", "_start", "_end", "_tag_id", "_kind",
+            "_src_space", "_dst_space", "_src_nbytes", "_dst_nbytes")}
+        self._allocate(capacity)
+        n = self._n
+        for name, column in old.items():
+            getattr(self, name)[:n] = column[:n]
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, instrs: List[Instruction], index, pipe, start, end
+                     ) -> "ExecutionTrace":
+        """Build a trace directly from scheduler output columns.
+
+        ``instrs`` is the instruction per event *in event order*; the
+        numeric columns may be lists or arrays.  This is the scheduler
+        hot path: no :class:`TraceEvent` objects are created.
+        """
+        trace = cls.__new__(cls)
+        n = len(instrs)
+        trace._n = n
+        trace._instrs = instrs
+        trace._tag_names = [""]
+        trace._tag_ids = {"": 0}
+        trace._meta_memo = {}
+        trace._index = np.asarray(index, np.int64)
+        trace._pipe = np.asarray(pipe, np.int8)
+        trace._start = np.asarray(start, np.int64)
+        trace._end = np.asarray(end, np.int64)
+        trace._fill_meta_columns()
+        return trace
+
+    def _fill_meta_columns(self) -> None:
+        """Derive tag/kind/traffic columns from the instruction list."""
+        memo = self._meta_memo
+        memo_get = memo.get
+        meta_of = self._meta_of
+        tags: List[int] = []
+        kinds: List[int] = []
+        src_spaces: List[int] = []
+        dst_spaces: List[int] = []
+        src_nbytes: List[int] = []
+        dst_nbytes: List[int] = []
+        for instr in self._instrs:
+            key = id(instr)
+            rec = memo_get(key)
+            if rec is None:
+                rec = meta_of(instr)
+                memo[key] = rec
+            kinds.append(rec[0])
+            tags.append(rec[1])
+            src_spaces.append(rec[2])
+            dst_spaces.append(rec[3])
+            src_nbytes.append(rec[4])
+            dst_nbytes.append(rec[5])
+        self._tag_id = np.asarray(tags, np.int32)
+        self._kind = np.asarray(kinds, np.int8)
+        self._src_space = np.asarray(src_spaces, np.int8)
+        self._dst_space = np.asarray(dst_spaces, np.int8)
+        self._src_nbytes = np.asarray(src_nbytes, np.int64)
+        self._dst_nbytes = np.asarray(dst_nbytes, np.int64)
+
+    def _intern(self, tag: str) -> int:
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            tag_id = len(self._tag_names)
+            self._tag_ids[tag] = tag_id
+            self._tag_names.append(tag)
+        return tag_id
+
+    def _meta_of(self, instr: Instruction) -> tuple:
+        """(kind, tag id, src space, dst space, src bytes, dst bytes).
+
+        Memoized per instruction *object* by the callers: compiled tile
+        loops repeat a handful of distinct instruction objects thousands
+        of times, and the arena holds a reference to every memoized
+        instruction, so ``id()`` keys cannot alias.
+        """
+        kind = _KIND_OF_TYPE.get(type(instr), KIND_NONE)
+        tag_id = self._intern(instr.tag)
+        if kind in _MOVE_KINDS:
+            return (kind, tag_id, int(instr.src.space), int(instr.dst.space),
+                    instr.src.nbytes, instr.dst.nbytes)
+        return (kind, tag_id, -1, -1, 0, 0)
+
+    def append(self, event: TraceEvent) -> None:
+        """Append one event to the arena (legacy row-oriented path)."""
+        i = self._n
+        if i >= len(self._index):
+            self._grow()
+        instr = event.instr
+        memo = self._meta_memo
+        key = id(instr)
+        rec = memo.get(key)
+        if rec is None:
+            rec = self._meta_of(instr)
+            memo[key] = rec
+        self._instrs.append(instr)
+        self._index[i] = event.index
+        self._pipe[i] = int(event.pipe)
+        self._start[i] = event.start
+        self._end[i] = event.end
+        self._kind[i] = rec[0]
+        self._tag_id[i] = rec[1]
+        self._src_space[i] = rec[2]
+        self._dst_space[i] = rec[3]
+        self._src_nbytes[i] = rec[4]
+        self._dst_nbytes[i] = rec[5]
+        self._n = i + 1
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self.append(event)
+
+    # -- row view -------------------------------------------------------------
+
+    @property
+    def events(self) -> _EventsView:
+        """Lazy sequence of :class:`TraceEvent` (materialized on access)."""
+        return _EventsView(self)
+
+    def _event_at(self, i: int) -> TraceEvent:
+        return TraceEvent(int(self._index[i]), self._instrs[i],
+                          Pipe(int(self._pipe[i])),
+                          int(self._start[i]), int(self._end[i]))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ExecutionTrace({self._n} events, "
+                f"{len(self._tag_names) - 1} tags)")
+
+    # -- aggregate queries (masked reductions) --------------------------------
 
     @property
     def total_cycles(self) -> int:
-        return max((e.end for e in self.events), default=0)
+        if self._n == 0:
+            return 0
+        return int(self._end[:self._n].max())
 
     def busy_cycles(self, pipe: Pipe, tag: Optional[str] = None) -> int:
         """Sum of occupied cycles on a pipe (optionally for one tag).
@@ -77,11 +361,16 @@ class ExecutionTrace:
         Flag/barrier bookkeeping (1-cycle events with no payload) is
         included; it is negligible against real work.
         """
-        return sum(
-            e.cycles
-            for e in self.events
-            if e.pipe is pipe and (tag is None or e.tag == tag)
-        )
+        n = self._n
+        if n == 0:
+            return 0
+        mask = self._pipe[:n] == int(pipe)
+        if tag is not None:
+            tag_id = self._tag_ids.get(tag)
+            if tag_id is None:
+                return 0
+            mask &= self._tag_id[:n] == tag_id
+        return int((self._end[:n][mask] - self._start[:n][mask]).sum())
 
     def utilization(self, pipe: Pipe) -> float:
         total = self.total_cycles
@@ -90,55 +379,63 @@ class ExecutionTrace:
         return self.busy_cycles(pipe) / total
 
     def tags(self) -> List[str]:
-        """Distinct non-empty tags in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for e in self.events:
-            if e.tag and e.tag not in seen:
-                seen[e.tag] = None
-        return list(seen)
+        """Distinct non-empty tags in first-appearance order.
+
+        The intern table is filled in event order, so it *is* the
+        first-appearance order (id 0 is the empty tag).
+        """
+        return list(self._tag_names[1:])
 
     def span(self, tag: str) -> Tuple[int, int]:
         """(first start, last end) over events carrying ``tag``."""
-        starts = [e.start for e in self.events if e.tag == tag]
-        ends = [e.end for e in self.events if e.tag == tag]
-        if not starts:
+        n = self._n
+        tag_id = self._tag_ids.get(tag)
+        if n == 0 or tag_id is None:
             return (0, 0)
-        return (min(starts), max(ends))
+        mask = self._tag_id[:n] == tag_id
+        if not mask.any():  # interned via append of a foreign-trace event
+            return (0, 0)
+        return (int(self._start[:n][mask].min()),
+                int(self._end[:n][mask].max()))
 
     def summary(self) -> "TraceSummary":
-        """Makespan, per-pipe busy cycles and L1/GM traffic in one pass.
+        """Makespan, per-pipe busy cycles and L1/GM traffic, vectorized.
 
         Equivalent to ``total_cycles`` + six ``busy_cycles`` calls +
-        ``l1_traffic_bytes`` + ``gm_traffic_bytes``, but walks the event
-        list once — the layer-compilation hot path.
+        ``l1_traffic_bytes`` + ``gm_traffic_bytes`` over the event list.
         """
-        total = 0
-        busy = [0] * len(Pipe)
-        l1_read = l1_write = gm_read = gm_write = 0
-        for e in self.events:
-            end = e.end
-            if end > total:
-                total = end
-            busy[e.pipe] += end - e.start
-            instr = e.instr
-            if isinstance(instr, _MOVE_TYPES):
-                src = instr.src.space
-                dst = instr.dst.space
-                if src is MemSpace.L1:
-                    l1_read += instr.src.nbytes
-                elif src is MemSpace.GM:
-                    gm_read += instr.dst.nbytes
-                if dst is MemSpace.L1:
-                    l1_write += instr.dst.nbytes
-                elif dst is MemSpace.GM:
-                    gm_write += instr.src.nbytes
+        n = self._n
+        cycles = self._end[:n] - self._start[:n]
+        pipes = self._pipe[:n]
+        busy = tuple(int(cycles[pipes == p].sum()) for p in range(len(Pipe)))
+        src_space = self._src_space[:n]
+        dst_space = self._dst_space[:n]
         return TraceSummary(
-            total_cycles=total, busy_by_pipe=tuple(busy),
-            l1_read_bytes=l1_read, l1_write_bytes=l1_write,
-            gm_read_bytes=gm_read, gm_write_bytes=gm_write,
+            total_cycles=self.total_cycles,
+            busy_by_pipe=busy,
+            l1_read_bytes=int(
+                self._src_nbytes[:n][src_space == int(MemSpace.L1)].sum()),
+            l1_write_bytes=int(
+                self._dst_nbytes[:n][dst_space == int(MemSpace.L1)].sum()),
+            gm_read_bytes=int(
+                self._dst_nbytes[:n][src_space == int(MemSpace.GM)].sum()),
+            gm_write_bytes=int(
+                self._src_nbytes[:n][dst_space == int(MemSpace.GM)].sum()),
         )
 
     # -- bandwidth accounting -------------------------------------------------
+
+    _TAG_ABSENT = object()  # sentinel: tag filter given but never seen
+
+    def _tag_mask(self, tag: Optional[str], n: int):
+        """Boolean mask for ``tag``; None means no filter; ``_TAG_ABSENT``
+        when the tag was never interned (every masked sum is 0)."""
+        if tag is None:
+            return None
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            return ExecutionTrace._TAG_ABSENT
+        return self._tag_id[:n] == tag_id
 
     def l1_traffic_bytes(self, tag: Optional[str] = None) -> Tuple[int, int]:
         """(bytes read from L1, bytes written to L1) by data movement.
@@ -147,55 +444,139 @@ class ExecutionTrace:
         (MTE2) and UB -> L1 write-backs (MTE3).  This is the quantity
         Figure 9 profiles.
         """
-        read = 0
-        written = 0
-        for e in self.events:
-            if tag is not None and e.tag != tag:
-                continue
-            instr = e.instr
-            if not isinstance(instr, _MOVE_TYPES):
-                continue
-            if instr.src.space is MemSpace.L1:
-                read += instr.src.nbytes
-            if instr.dst.space is MemSpace.L1:
-                written += instr.dst.nbytes
-        return read, written
+        n = self._n
+        selector = self._tag_mask(tag, n)
+        if selector is ExecutionTrace._TAG_ABSENT:
+            return (0, 0)
+        l1 = int(MemSpace.L1)
+        read_mask = self._src_space[:n] == l1
+        write_mask = self._dst_space[:n] == l1
+        if selector is not None:
+            read_mask &= selector
+            write_mask &= selector
+        return (int(self._src_nbytes[:n][read_mask].sum()),
+                int(self._dst_nbytes[:n][write_mask].sum()))
 
     def moved_bytes(self, src: MemSpace, dst: MemSpace,
                     tag: Optional[str] = None) -> int:
         """Bytes moved along one (src, dst) space pair."""
-        total = 0
-        for e in self.events:
-            if tag is not None and e.tag != tag:
-                continue
-            instr = e.instr
-            if isinstance(instr, _MOVE_TYPES):
-                if instr.src.space is src and instr.dst.space is dst:
-                    total += instr.src.nbytes if src is not MemSpace.GM else instr.dst.nbytes
-        return total
+        n = self._n
+        selector = self._tag_mask(tag, n)
+        if selector is ExecutionTrace._TAG_ABSENT:
+            return 0
+        mask = (self._src_space[:n] == int(src)) \
+            & (self._dst_space[:n] == int(dst))
+        if selector is not None:
+            mask &= selector
+        column = self._src_nbytes if src is not MemSpace.GM else self._dst_nbytes
+        return int(column[:n][mask].sum())
 
     def gm_traffic_bytes(self, tag: Optional[str] = None) -> Tuple[int, int]:
         """(bytes read from GM, bytes written to GM) — BIU/LLC traffic."""
-        read = 0
-        written = 0
-        for e in self.events:
-            if tag is not None and e.tag != tag:
-                continue
-            instr = e.instr
-            if not isinstance(instr, _MOVE_TYPES):
-                continue
-            if instr.src.space is MemSpace.GM:
-                read += instr.dst.nbytes
-            if instr.dst.space is MemSpace.GM:
-                written += instr.src.nbytes
-        return read, written
+        n = self._n
+        selector = self._tag_mask(tag, n)
+        if selector is ExecutionTrace._TAG_ABSENT:
+            return (0, 0)
+        gm = int(MemSpace.GM)
+        read_mask = self._src_space[:n] == gm
+        write_mask = self._dst_space[:n] == gm
+        if selector is not None:
+            read_mask &= selector
+            write_mask &= selector
+        return (int(self._dst_nbytes[:n][read_mask].sum()),
+                int(self._src_nbytes[:n][write_mask].sum()))
 
     def per_tag_busy(self, pipe: Pipe) -> Dict[str, int]:
-        busy: Dict[str, int] = defaultdict(int)
-        for e in self.events:
-            if e.pipe is pipe and e.tag:
-                busy[e.tag] += e.cycles
-        return dict(busy)
+        n = self._n
+        if n == 0:
+            return {}
+        mask = self._pipe[:n] == int(pipe)
+        tag_ids = self._tag_id[:n][mask]
+        if tag_ids.size == 0:
+            return {}
+        cycles = (self._end[:n] - self._start[:n])[mask]
+        sums = np.zeros(len(self._tag_names), np.int64)
+        np.add.at(sums, tag_ids, cycles)
+        # Report tags in first-occurrence order among this pipe's events.
+        distinct, first = np.unique(tag_ids, return_index=True)
+        names = self._tag_names
+        return {
+            names[tag_id]: int(sums[tag_id])
+            for tag_id in distinct[np.argsort(first)]
+            if tag_id != 0
+        }
 
-    def extend(self, events: Iterable[TraceEvent]) -> None:
-        self.events.extend(events)
+    # -- columnar access ------------------------------------------------------
+    #
+    # Trimmed views of the arena for vectorized consumers (gantt binning,
+    # benchmarks).  Treat them as read-only: they alias trace storage.
+
+    @property
+    def starts(self) -> np.ndarray:
+        return self._start[:self._n]
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self._end[:self._n]
+
+    @property
+    def pipes(self) -> np.ndarray:
+        return self._pipe[:self._n]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Instruction-class codes (the module-level ``KIND_*`` constants)."""
+        return self._kind[:self._n]
+
+    # -- functional-execution support -----------------------------------------
+
+    def functional_instructions(self) -> List[Instruction]:
+        """Instructions with architectural effect, in causal order.
+
+        Flags, barriers and scalar bookkeeping carry no state outside the
+        schedule, so functional replay skips them.
+        """
+        n = self._n
+        kinds = self._kind[:n]
+        instrs = self._instrs
+        return [instrs[i]
+                for i in np.nonzero(np.isin(kinds, FUNCTIONAL_KINDS))[0]]
+
+    def wavefronts(self) -> List[List[Instruction]]:
+        """Group functional instructions into dependence-free waves.
+
+        Events are stored sorted by start time, and any dependence chain
+        (same-pipe program order or a set_flag -> wait_flag edge) forces
+        the consumer to start at or after the producer's end.  Walking
+        events in start order, an event whose start lies strictly before
+        the minimum end of the current wave therefore overlaps every
+        event in it — no dependence edge can exist between them — so it
+        joins the wave; otherwise the wave is sealed and a new one
+        begins.  Waves execute in order with a barrier between them,
+        preserving every producer -> consumer edge.
+        """
+        n = self._n
+        if n == 0:
+            return []
+        keep = np.nonzero(np.isin(self._kind[:n], FUNCTIONAL_KINDS))[0]
+        if keep.size == 0:
+            return []
+        starts = self._start[:n][keep].tolist()
+        ends = self._end[:n][keep].tolist()
+        instrs = self._instrs
+        waves: List[List[Instruction]] = []
+        wave: List[Instruction] = [instrs[keep[0]]]
+        wave_min_end = ends[0]
+        for pos in range(1, keep.size):
+            start = starts[pos]
+            instr = instrs[keep[pos]]
+            if start < wave_min_end:
+                wave.append(instr)
+                if ends[pos] < wave_min_end:
+                    wave_min_end = ends[pos]
+            else:
+                waves.append(wave)
+                wave = [instr]
+                wave_min_end = ends[pos]
+        waves.append(wave)
+        return waves

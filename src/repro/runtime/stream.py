@@ -45,7 +45,8 @@ class Stream:
         return self._cursor
 
     def launch(self, program, functional: bool = True,
-               wait_for: Optional[List[Event]] = None) -> None:
+               wait_for: Optional[List[Event]] = None,
+               workers=None) -> None:
         """Enqueue a program; it starts after the stream's prior work and
         all ``wait_for`` events."""
         start = self._cursor + self.launch_overhead_cycles
@@ -56,7 +57,8 @@ class Stream:
                     f"{event.name!r}"
                 )
             start = max(start, event.cycles)
-        result = self.device.run_program(program, functional=functional)
+        result = self.device.run_program(program, functional=functional,
+                                         workers=workers)
         self._cursor = start + result.cycles
         self._log.append(f"{program.name}@{start}+{result.cycles}")
 
