@@ -2,7 +2,7 @@
 # without an editable install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-equiv bench bench-speed ci
+.PHONY: test test-equiv bench bench-speed bench-gate ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -21,6 +21,11 @@ bench:
 bench-speed:
 	$(PY) benchmarks/bench_sim_speed.py --smoke
 
-# CI gate: the tier-1 suite, the equivalence suites, and a ~10 s
-# simulator-speed smoke run.
-ci: test test-equiv bench-speed
+# Perf gate: fail if the resnet50@ascend cold compile regresses more
+# than 2x over the last recorded trajectory baseline.
+bench-gate:
+	$(PY) benchmarks/bench_sim_speed.py --gate
+
+# CI gate: the tier-1 suite, the equivalence suites, a ~10 s
+# simulator-speed smoke run, and the cold-compile perf gate.
+ci: test test-equiv bench-speed bench-gate

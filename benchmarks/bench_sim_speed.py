@@ -14,12 +14,20 @@ Three measurements per run:
   wavefront thread pool (``REPRO_FUNC_WORKERS``-style), with the final
   scratchpad state compared bit-for-bit.
 
+Each entry also records a **cold-phase breakdown** — seconds spent in
+lower / validate / cost / schedule over every unique workload of each
+job, with all caches bypassed — so a regression can be attributed to a
+phase without re-profiling.
+
 Standalone (``python benchmarks/bench_sim_speed.py``) appends one entry
 to ``benchmarks/results/BENCH_sim_speed.json`` — the perf trajectory the
 project tracks across commits.  ``--smoke`` restricts the compile jobs
-to ResNet-50 on one core (a few seconds, used by the CI target).  Under
-pytest the smoke measurement runs and asserts the warm path wins and the
-columnar aggregate pass beats the legacy walk by at least 10x.
+to ResNet-50 on one core (a few seconds, used by the CI target).
+``--gate`` is the CI perf gate: it re-measures the resnet50@ascend cold
+compile in a fresh process and exits nonzero if it regressed more than
+2x over the last recorded trajectory baseline.  Under pytest the smoke
+measurement runs and asserts the warm path wins and the columnar
+aggregate pass beats the legacy walk by at least 10x.
 """
 
 from __future__ import annotations
@@ -79,6 +87,63 @@ def _run_child(jobs, cache_dir: str) -> dict:
         capture_output=True, text=True, env=env, check=True,
     )
     return json.loads(proc.stdout)
+
+
+def measure_cold_phases(jobs) -> dict:
+    """Per-phase cold-compile seconds for each job, every cache bypassed.
+
+    The four phases (lower, validate, cost, schedule) are timed as
+    independent passes over the same unique-workload list, so they
+    approximate — but do not by construction sum to — the end-to-end
+    cold number from the fresh-process measurement.  ``schedule``
+    includes the engine's internal cost pass; ``cost_s`` prices the
+    programs standalone (columnar ``cost_columns`` where an arena is
+    attached, the per-instruction model otherwise).
+    """
+    from repro.compiler.lowering import lower_workload
+    from repro.config import core_config_by_name
+    from repro.core.costs import CostModel
+    from repro.core.engine import schedule_summary
+    from repro.models import build_model
+
+    out = {}
+    for model, core in jobs:
+        graph = build_model(model, **_MODEL_KWARGS[model])
+        config = core_config_by_name(core)
+        costs = CostModel(config)
+        works = [work for _, work in graph.grouped_workloads()]
+
+        t0 = time.perf_counter()
+        programs = [lower_workload(work, config) for work in works]
+        lower_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for prog in programs:
+            prog.validate(config)
+        validate_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for prog in programs:
+            if prog._arena is not None:
+                costs.cost_columns(prog._arena)
+            else:
+                for instr in prog.instructions:
+                    costs.cost(instr)
+        cost_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for prog in programs:
+            schedule_summary(prog, costs)
+        schedule_s = time.perf_counter() - t0
+
+        out[f"{model}@{core}"] = {
+            "workloads": len(works),
+            "lower_s": round(lower_s, 4),
+            "validate_s": round(validate_s, 4),
+            "cost_s": round(cost_s, 4),
+            "schedule_s": round(schedule_s, 4),
+        }
+    return out
 
 
 def _legacy_aggregate_walk(trace) -> tuple:
@@ -210,9 +275,42 @@ def measure(smoke: bool = False) -> dict:
     return {
         "smoke": smoke,
         "points": points,
+        "cold_phases": measure_cold_phases(jobs),
         "trace_agg": measure_trace_aggregation(),
         "functional": measure_functional(),
     }
+
+
+_GATE_LABEL = "resnet50@ascend"
+_GATE_TOLERANCE = 2.0
+
+
+def gate() -> int:
+    """CI perf gate: re-measure the resnet50@ascend cold compile and fail
+    (exit 1) if it regressed more than 2x over the last recorded
+    trajectory baseline.  With no recorded baseline the gate passes —
+    a fresh checkout should not fail CI before its first full run."""
+    baseline = None
+    if _TRAJECTORY.exists():
+        for entry in reversed(json.loads(_TRAJECTORY.read_text())):
+            point = entry.get("points", {}).get(_GATE_LABEL)
+            if point and "cold_s" in point:
+                baseline = (entry.get("timestamp", "?"), point["cold_s"])
+                break
+    if baseline is None:
+        print(f"gate: no recorded {_GATE_LABEL} baseline in "
+              f"{_TRAJECTORY}; passing")
+        return 0
+    stamp, base_s = baseline
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        now = _run_child([list(job) for job in _SMOKE_JOBS], cache)
+    cold_s = now[_GATE_LABEL]["seconds"]
+    limit = _GATE_TOLERANCE * base_s
+    ok = cold_s <= limit
+    print(f"gate: {_GATE_LABEL} cold compile {cold_s:.3f}s vs baseline "
+          f"{base_s:.3f}s ({stamp}); limit {limit:.3f}s -> "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def _append_trajectory(entry: dict) -> None:
@@ -232,6 +330,13 @@ def _render(entry: dict) -> str:
         lines.append(f"  {label:24s} cold {p['cold_s']:7.3f}s  "
                      f"warm {p['warm_s']:7.3f}s  ({speedup:.1f}x)  "
                      f"cycles {p['cycles']}")
+    phases = entry.get("cold_phases") or {}
+    for label, ph in phases.items():
+        lines.append(
+            f"  {label:24s} phases: lower {ph['lower_s']:6.3f}s  "
+            f"validate {ph['validate_s']:6.3f}s  cost {ph['cost_s']:6.3f}s  "
+            f"schedule {ph['schedule_s']:6.3f}s  "
+            f"({ph['workloads']} workloads)")
     agg = entry.get("trace_agg")
     if agg:
         lines.append(
@@ -270,6 +375,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="ResNet-50 on one core only")
+    parser.add_argument("--gate", action="store_true",
+                        help="CI perf gate: fail if resnet50@ascend cold "
+                             "compile regressed >2x over the recorded "
+                             "baseline")
     parser.add_argument("--child", metavar="JOBS",
                         help=argparse.SUPPRESS)  # internal: measure once
     args = parser.parse_args(argv)
@@ -277,6 +386,9 @@ def main(argv=None) -> int:
     if args.child:
         json.dump(_measure_jobs(json.loads(args.child)), sys.stdout)
         return 0
+
+    if args.gate:
+        return gate()
 
     entry = measure(smoke=args.smoke)
     print(_render(entry))

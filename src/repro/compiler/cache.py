@@ -28,23 +28,29 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, MutableMapping, Optional
 
 __all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
            "load", "store", "model_content_key", "load_model", "store_model",
-           "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats"]
+           "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats",
+           "LruCache", "memory_max_entries", "program_cache_enabled",
+           "store_arena", "load_arena"]
 
 # Bump when lowering, the cost model, or the payload shape changes.
 SCHEMA_VERSION = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
+_ENV_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
+_ENV_PROGRAM = "REPRO_PROGRAM_CACHE"
 _DEFAULT_DIR = ".repro_cache"
 
 _STATS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0,
           "memory_hits": 0, "model_hits": 0, "model_stores": 0,
-          "model_memory_hits": 0}
+          "model_memory_hits": 0, "evictions": 0,
+          "arena_hits": 0, "arena_stores": 0}
 
 
 def enabled() -> bool:
@@ -56,6 +62,68 @@ def cache_dir() -> Path:
     """Versioned cache directory (``REPRO_CACHE_DIR``/v<SCHEMA_VERSION>)."""
     base = os.environ.get(_ENV_DIR, _DEFAULT_DIR)
     return Path(base) / f"v{SCHEMA_VERSION}"
+
+
+def memory_max_entries() -> Optional[int]:
+    """Entry cap for the in-memory tiers (``REPRO_CACHE_MAX_ENTRIES``).
+
+    None (the default) means unbounded — the historical behavior.  A cap
+    matters for long-lived sweep processes that compile thousands of
+    distinct (design point, workload) pairs: each CompiledLayer is small,
+    but whole-model entries hold full layer lists.
+    """
+    raw = os.environ.get(_ENV_MAX_ENTRIES)
+    if not raw:
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
+
+
+class LruCache(MutableMapping):
+    """A dict with least-recently-used eviction for the in-memory tiers.
+
+    The cap is re-read from the environment on every insertion so tests
+    (and long-lived processes) can tighten it at runtime; evictions are
+    counted in :func:`stats`.  With no cap configured this is an ordinary
+    dict with access-order bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        cap = memory_max_entries()
+        if cap is not None:
+            while len(data) > cap:
+                data.popitem(last=False)
+                _STATS["evictions"] += 1
+
+    def __delitem__(self, key: Any) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 def _canonical(obj: Any) -> Any:
@@ -82,14 +150,33 @@ def _canonical(obj: Any) -> Any:
     return str(obj)
 
 
+def _workload_canonical(work: Any) -> Any:
+    """Canonical workload form with the top-level ``name`` dropped.
+
+    Compiled statistics depend only on a workload's *structure* (gemms,
+    vector work, byte counts) — never on what the layer is called: every
+    hit path reattaches the caller's name via ``GraphEngine._relabel``.
+    Hashing structure only dedupes identically-shaped layers (the 12/24
+    transformer blocks of BERT compile once, not per layer).
+    """
+    canon = _canonical(work)
+    if isinstance(canon, dict):
+        for fields in canon.values():
+            if isinstance(fields, dict):
+                fields.pop("name", None)
+    return canon
+
+
 def content_key(config: Any, work: Any, a_bytes_scale: float = 1.0,
                 weight_density: Optional[float] = None) -> str:
-    """sha256 over (schema, core design point, workload, lowering knobs)."""
+    """sha256 over (schema, core design point, workload structure,
+    lowering knobs).  The workload's name is deliberately excluded — see
+    :func:`_workload_canonical`."""
     blob = json.dumps(
         {
             "schema": SCHEMA_VERSION,
             "config": _canonical(config),
-            "workload": _canonical(work),
+            "workload": _workload_canonical(work),
             "a_bytes_scale": a_bytes_scale,
             "weight_density": weight_density,
         },
@@ -202,10 +289,84 @@ def note_model_memory_hit() -> None:
     _STATS["model_memory_hits"] += 1
 
 
+# -- arena-native program artifacts ------------------------------------------------
+#
+# Whole lowered programs persisted as raw columns (one .npz per key):
+# loading one rebuilds an InstructionArena with zero instruction objects
+# and zero re-lowering.  Off by default (REPRO_PROGRAM_CACHE=1 enables):
+# the compile path only needs summary payloads, and program artifacts are
+# megabytes where summaries are bytes.
+
+
+def program_cache_enabled() -> bool:
+    """Whether lowered-program artifacts are persisted/read
+    (``REPRO_PROGRAM_CACHE=1``; requires the cache itself enabled)."""
+    return enabled() and os.environ.get(_ENV_PROGRAM, "0") == "1"
+
+
+def store_arena(key: str, arena: Any) -> None:
+    """Persist an exact arena's columns as ``prog-<key>.npz`` (atomic,
+    failure-tolerant; silently skipped for inexact arenas)."""
+    import numpy as np
+
+    if not program_cache_enabled():
+        return
+    try:
+        columns = arena.columns()
+    except Exception:
+        return  # inexact rows: objects are authoritative, don't persist
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, schema=SCHEMA_VERSION,
+                         tags=np.asarray(arena.tags, dtype=object),
+                         **columns)
+            os.replace(tmp, directory / f"prog-{key}.npz")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        _STATS["errors"] += 1
+        return
+    _STATS["arena_stores"] += 1
+
+
+def load_arena(key: str) -> Optional[Any]:
+    """Rebuild an :class:`~repro.isa.arena.InstructionArena` from a
+    ``prog-<key>.npz`` artifact, or None on miss/corruption."""
+    import numpy as np
+
+    from ..isa.arena import InstructionArena
+
+    if not program_cache_enabled():
+        return None
+    path = cache_dir() / f"prog-{key}.npz"
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            if int(data["schema"]) != SCHEMA_VERSION:
+                _STATS["misses"] += 1
+                return None
+            tags = [str(t) for t in data["tags"]]
+            columns = {name: data[name] for name in data.files
+                       if name not in ("schema", "tags")}
+        arena = InstructionArena.from_columns(columns, tags)
+    except FileNotFoundError:
+        _STATS["misses"] += 1
+        return None
+    except Exception:
+        _STATS["errors"] += 1
+        return None
+    _STATS["arena_hits"] += 1
+    return arena
+
+
 def stats() -> Dict[str, Any]:
     """Counters for this process plus the active configuration."""
     return {**_STATS, "enabled": enabled(), "dir": str(cache_dir()),
-            "schema": SCHEMA_VERSION}
+            "schema": SCHEMA_VERSION, "max_entries": memory_max_entries()}
 
 
 def reset_stats() -> None:

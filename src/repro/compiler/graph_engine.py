@@ -23,6 +23,7 @@ from ..graph import Graph
 from ..graph.ops import Conv2D, DepthwiseConv2D
 from ..graph.workload import OpWorkload
 from ..isa.pipes import Pipe
+from ..isa.program import Program
 from . import cache
 from .lowering import lower_workload
 from .stream import Block, Stream, Task
@@ -122,10 +123,12 @@ class GraphEngine:
     not recompile identical layers.
     """
 
-    _GLOBAL_CACHE: Dict[Tuple, CompiledLayer] = {}
+    # Both in-memory tiers are LRU-bounded by REPRO_CACHE_MAX_ENTRIES
+    # (unbounded by default); evictions show up in cache.stats().
+    _GLOBAL_CACHE: cache.LruCache = cache.LruCache()
     # Whole-model artifacts (ordered CompiledLayer lists) keyed by
     # cache.model_content_key — the third caching tier above per-layer.
-    _GLOBAL_MODEL_CACHE: Dict[str, List[CompiledLayer]] = {}
+    _GLOBAL_MODEL_CACHE: cache.LruCache = cache.LruCache()
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
@@ -161,9 +164,18 @@ class GraphEngine:
             else:
                 self._cache[key] = layer
                 return layer
-        program = lower_workload(work, self.config,
-                                 a_bytes_scale_for_gemms=a_bytes_scale,
-                                 weight_density=weight_density)
+        program = None
+        if cache.program_cache_enabled():
+            arena = cache.load_arena(key)
+            if arena is not None:
+                program = Program.from_arena(
+                    arena, name=f"{work.name}_{self.config.name}")
+        if program is None:
+            program = lower_workload(work, self.config,
+                                     a_bytes_scale_for_gemms=a_bytes_scale,
+                                     weight_density=weight_density)
+            if cache.program_cache_enabled() and program._arena is not None:
+                cache.store_arena(key, program._arena)
         summary = schedule_summary(program, self.costs)
         layer = CompiledLayer(
             name=name or work.name,

@@ -24,6 +24,7 @@ id    channel            meaning
 from __future__ import annotations
 
 import math
+import os
 from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -32,6 +33,20 @@ from ..config.core_configs import CoreConfig
 from ..dtypes import DType, FP16, INT8, accumulator_for
 from ..errors import CompileError
 from ..graph.workload import GemmWork, OpWorkload, VectorWork
+from ..isa.channels import (
+    EV_B_RESIDENT_FREE,
+    EV_L0C_TILE_FREE,
+    EV_L0C_TILE_READY,
+    EV_L0_FEED_FREE,
+    EV_L0_FEED_READY,
+    EV_L1_STAGE_FREE,
+    EV_L1_STAGE_READY,
+    EV_UB_TILE_FREE,
+    EV_UB_TILE_READY,
+    EV_VEC_CHUNK_READY,
+    EV_VEC_RESULT_READY,
+    EV_VEC_SLOT_FREE,
+)
 from ..isa.instructions import (
     CopyInstr,
     CubeMatmul,
@@ -49,6 +64,16 @@ from ..memory.zvc import zvc_compressed_nbytes
 from .tiling import Tiling, choose_tiling
 
 __all__ = ["GemmLayout", "PostOp", "lower_gemm", "lower_vector_work", "lower_workload"]
+
+# REPRO_LOWERING selects the emitter: "arena" (default) produces columnar
+# programs via vectorized index arithmetic; "objects" keeps the original
+# per-instruction loop as a bit-exact oracle.  The sparse (weight_density)
+# and weight-stationary (b_resident) variants always take the object
+# path — they are ablation-only and not worth a columnar twin.
+
+
+def _lowering_mode() -> str:
+    return os.environ.get("REPRO_LOWERING", "arena")
 
 
 @dataclass(frozen=True)
@@ -164,6 +189,11 @@ def lower_gemm(
     if tiling is None and b_resident and weight_density is None:
         tiling = _residency_tiling(m, k, n, config, dtype)
     tiling = tiling or choose_tiling(m, k, n, config, dtype)
+    if (weight_density is None and not b_resident
+            and _lowering_mode() != "objects"):
+        from .arena_lowering import lower_gemm_arena
+        return lower_gemm_arena(m, k, n, config, dtype, out_dtype, tag,
+                                tiling, post_ops, layout, a_bytes_scale)
     acc = accumulator_for(dtype)
     functional = layout is not None
 
@@ -210,7 +240,7 @@ def lower_gemm(
                 slot = stage_idx % 2
                 # ---- MTE2: stage A strip and B panel into L1 ----
                 if stage_idx >= 2:
-                    e.wait_flag(Pipe.MTE1, Pipe.MTE2, 1)
+                    e.wait_flag(Pipe.MTE1, Pipe.MTE2, EV_L1_STAGE_FREE)
                 a_l1 = Region(MemSpace.L1, l1_a[slot], (rm, rk_stage), dtype)
                 b_l1 = Region(MemSpace.L1, l1_b[slot], (rk_stage, rn), dtype)
                 if functional:
@@ -246,14 +276,14 @@ def lower_gemm(
                         e.emit(CopyInstr(
                             dst=b_l1, src=Region(MemSpace.GM, 0, (rk_stage, rn), dtype),
                             tag=tag))
-                e.set_flag(Pipe.MTE2, Pipe.MTE1, 0)
+                e.set_flag(Pipe.MTE2, Pipe.MTE1, EV_L1_STAGE_READY)
                 # ---- MTE1: feed L0 tiles from this stage ----
-                e.wait_flag(Pipe.MTE2, Pipe.MTE1, 0)
+                e.wait_flag(Pipe.MTE2, Pipe.MTE1, EV_L1_STAGE_READY)
                 for ik in range(math.ceil(rk_stage / tk)):
                     rk = min(tk, rk_stage - ik * tk)
                     fslot = feed_idx % 2
                     if feed_idx >= 2:
-                        e.wait_flag(Pipe.M, Pipe.MTE1, 3)
+                        e.wait_flag(Pipe.M, Pipe.MTE1, EV_L0_FEED_FREE)
                     a_l0 = Region(MemSpace.L0A, fslot * a_feed_b, (rm, rk), dtype)
                     b_l0 = Region(MemSpace.L0B, fslot * b_feed_b, (rk, rn), dtype)
                     a_src = Region(MemSpace.L1, l1_a[slot] + int(ik * tk * dtype.bytes),
@@ -272,28 +302,28 @@ def lower_gemm(
                                        l1_b[slot] + int(ik * tk * rn * dtype.bytes),
                                        (rk, rn), dtype)
                         e.emit(CopyInstr(dst=b_l0, src=b_src, tag=tag))
-                    e.set_flag(Pipe.MTE1, Pipe.M, 2)
+                    e.set_flag(Pipe.MTE1, Pipe.M, EV_L0_FEED_READY)
                     # ---- cube ----
-                    e.wait_flag(Pipe.MTE1, Pipe.M, 2)
+                    e.wait_flag(Pipe.MTE1, Pipe.M, EV_L0_FEED_READY)
                     if first_matmul_of_tile and tile_idx >= 2:
-                        e.wait_flag(Pipe.V, Pipe.M, 5)
+                        e.wait_flag(Pipe.V, Pipe.M, EV_L0C_TILE_FREE)
                     e.emit(CubeMatmul(a=a_l0, b=b_l0, c=c_reg,
                                       accumulate=not first_matmul_of_tile,
                                       tag=tag))
                     first_matmul_of_tile = False
-                    e.set_flag(Pipe.M, Pipe.MTE1, 3)
+                    e.set_flag(Pipe.M, Pipe.MTE1, EV_L0_FEED_FREE)
                     feed_idx += 1
-                e.set_flag(Pipe.MTE1, Pipe.MTE2, 1)
+                e.set_flag(Pipe.MTE1, Pipe.MTE2, EV_L1_STAGE_FREE)
                 stage_idx += 1
             # ---- vector epilogue ----
-            e.set_flag(Pipe.M, Pipe.V, 4)
-            e.wait_flag(Pipe.M, Pipe.V, 4)
+            e.set_flag(Pipe.M, Pipe.V, EV_L0C_TILE_READY)
+            e.wait_flag(Pipe.M, Pipe.V, EV_L0C_TILE_READY)
             if tile_idx >= 2:
-                e.wait_flag(Pipe.MTE3, Pipe.V, 7)
+                e.wait_flag(Pipe.MTE3, Pipe.V, EV_UB_TILE_FREE)
             ub_reg = Region(MemSpace.UB, c_slot * ub_tile_b, (rm, rn), out_dtype)
             e.emit(VectorInstr(op=VectorOpcode.CAST, dst=ub_reg, srcs=(c_reg,),
                                tag=tag))
-            e.set_flag(Pipe.V, Pipe.M, 5)
+            e.set_flag(Pipe.V, Pipe.M, EV_L0C_TILE_FREE)
             if functional and layout.bias_offset is not None:
                 bias_slice = Region(
                     MemSpace.UB,
@@ -305,9 +335,9 @@ def lower_gemm(
             for post in post_ops:
                 e.emit(VectorInstr(op=post.op, dst=ub_reg, srcs=(ub_reg,),
                                    scalar=post.scalar, tag=tag))
-            e.set_flag(Pipe.V, Pipe.MTE3, 6)
+            e.set_flag(Pipe.V, Pipe.MTE3, EV_UB_TILE_READY)
             # ---- MTE3: store ----
-            e.wait_flag(Pipe.V, Pipe.MTE3, 6)
+            e.wait_flag(Pipe.V, Pipe.MTE3, EV_UB_TILE_READY)
             if functional:
                 c_gm = Region(
                     MemSpace.GM,
@@ -318,7 +348,7 @@ def lower_gemm(
             else:
                 c_gm = Region(MemSpace.GM, 0, (rm, rn), out_dtype)
             e.emit(CopyInstr(dst=c_gm, src=ub_reg, tag=tag))
-            e.set_flag(Pipe.MTE3, Pipe.V, 7)
+            e.set_flag(Pipe.MTE3, Pipe.V, EV_UB_TILE_FREE)
             tile_idx += 1
 
     return e.finish()
@@ -372,7 +402,7 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
     for on in range(tiles_n):
         rn = min(tn, n - on * tn)
         if on > 0:
-            e.wait_flag(Pipe.M, Pipe.MTE1, 9)  # resident B free to replace
+            e.wait_flag(Pipe.M, Pipe.MTE1, EV_B_RESIDENT_FREE)  # resident B free to replace
         for om in range(tiles_m):
             rm = min(tm, m - om * tm)
             c_slot = tile_idx % 2
@@ -383,7 +413,7 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
                 rk_stage = min(k_stage, k - ok * k_stage)
                 slot = stage_idx % 2
                 if stage_idx >= 2:
-                    e.wait_flag(Pipe.MTE1, Pipe.MTE2, 1)
+                    e.wait_flag(Pipe.MTE1, Pipe.MTE2, EV_L1_STAGE_FREE)
                 a_l1 = Region(MemSpace.L1, l1_a[slot], (rm, rk_stage), dtype)
                 if functional:
                     a_gm = Region(
@@ -414,13 +444,13 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
                             dst=b_l1,
                             src=Region(MemSpace.GM, 0, (rk_stage, rn), dtype),
                             tag=tag))
-                e.set_flag(Pipe.MTE2, Pipe.MTE1, 0)
-                e.wait_flag(Pipe.MTE2, Pipe.MTE1, 0)
+                e.set_flag(Pipe.MTE2, Pipe.MTE1, EV_L1_STAGE_READY)
+                e.wait_flag(Pipe.MTE2, Pipe.MTE1, EV_L1_STAGE_READY)
                 for ik in range(math.ceil(rk_stage / tk)):
                     rk = min(tk, rk_stage - ik * tk)
                     fslot = feed_idx % 2
                     if feed_idx >= 2:
-                        e.wait_flag(Pipe.M, Pipe.MTE1, 3)
+                        e.wait_flag(Pipe.M, Pipe.MTE1, EV_L0_FEED_FREE)
                     a_l0 = Region(MemSpace.L0A, fslot * a_feed_b, (rm, rk),
                                   dtype)
                     a_src = Region(
@@ -435,29 +465,29 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
                             (rk, rn), dtype)
                         e.emit(CopyInstr(dst=b_l0, src=b_src, tag=tag))
                     e.emit(CopyInstr(dst=a_l0, src=a_src, tag=tag))
-                    e.set_flag(Pipe.MTE1, Pipe.M, 2)
-                    e.wait_flag(Pipe.MTE1, Pipe.M, 2)
+                    e.set_flag(Pipe.MTE1, Pipe.M, EV_L0_FEED_READY)
+                    e.wait_flag(Pipe.MTE1, Pipe.M, EV_L0_FEED_READY)
                     if first_matmul_of_tile and tile_idx >= 2:
-                        e.wait_flag(Pipe.V, Pipe.M, 5)
+                        e.wait_flag(Pipe.V, Pipe.M, EV_L0C_TILE_FREE)
                     e.emit(CubeMatmul(a=a_l0, b=b_l0, c=c_reg,
                                       accumulate=not first_matmul_of_tile,
                                       tag=tag))
                     first_matmul_of_tile = False
-                    e.set_flag(Pipe.M, Pipe.MTE1, 3)
+                    e.set_flag(Pipe.M, Pipe.MTE1, EV_L0_FEED_FREE)
                     feed_idx += 1
                     global_feed += 1
-                e.set_flag(Pipe.MTE1, Pipe.MTE2, 1)
+                e.set_flag(Pipe.MTE1, Pipe.MTE2, EV_L1_STAGE_FREE)
                 stage_idx += 1
             # vector epilogue + store (identical to the default schedule)
-            e.set_flag(Pipe.M, Pipe.V, 4)
-            e.wait_flag(Pipe.M, Pipe.V, 4)
+            e.set_flag(Pipe.M, Pipe.V, EV_L0C_TILE_READY)
+            e.wait_flag(Pipe.M, Pipe.V, EV_L0C_TILE_READY)
             if tile_idx >= 2:
-                e.wait_flag(Pipe.MTE3, Pipe.V, 7)
+                e.wait_flag(Pipe.MTE3, Pipe.V, EV_UB_TILE_FREE)
             ub_reg = Region(MemSpace.UB, c_slot * ub_tile_b, (rm, rn),
                             out_dtype)
             e.emit(VectorInstr(op=VectorOpcode.CAST, dst=ub_reg,
                                srcs=(c_reg,), tag=tag))
-            e.set_flag(Pipe.V, Pipe.M, 5)
+            e.set_flag(Pipe.V, Pipe.M, EV_L0C_TILE_FREE)
             if functional and layout.bias_offset is not None:
                 bias_slice = Region(
                     MemSpace.UB,
@@ -468,8 +498,8 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
             for post in post_ops:
                 e.emit(VectorInstr(op=post.op, dst=ub_reg, srcs=(ub_reg,),
                                    scalar=post.scalar, tag=tag))
-            e.set_flag(Pipe.V, Pipe.MTE3, 6)
-            e.wait_flag(Pipe.V, Pipe.MTE3, 6)
+            e.set_flag(Pipe.V, Pipe.MTE3, EV_UB_TILE_READY)
+            e.wait_flag(Pipe.V, Pipe.MTE3, EV_UB_TILE_READY)
             if functional:
                 c_gm = Region(
                     MemSpace.GM,
@@ -479,9 +509,9 @@ def _emit_b_resident(e: _Emitter, m: int, k: int, n: int,
             else:
                 c_gm = Region(MemSpace.GM, 0, (rm, rn), out_dtype)
             e.emit(CopyInstr(dst=c_gm, src=ub_reg, tag=tag))
-            e.set_flag(Pipe.MTE3, Pipe.V, 7)
+            e.set_flag(Pipe.MTE3, Pipe.V, EV_UB_TILE_FREE)
             tile_idx += 1
-        e.set_flag(Pipe.M, Pipe.MTE1, 9)  # column retired
+        e.set_flag(Pipe.M, Pipe.MTE1, EV_B_RESIDENT_FREE)  # column retired
 
 
 def lower_vector_work(work: VectorWork, config: CoreConfig, tag: str = "",
@@ -495,6 +525,9 @@ def lower_vector_work(work: VectorWork, config: CoreConfig, tag: str = "",
     ``passes * elems`` element-passes — the quantity the workload model
     defines.
     """
+    if _lowering_mode() != "objects":
+        from .arena_lowering import lower_vector_arena
+        return lower_vector_arena(work, config, tag, load_input, store_output)
     elem_b = work.dtype.bytes
     # Two in-flight chunks must fit UB.
     chunk_elems = max(1, int(config.ub_bytes / (2 * elem_b)))
@@ -506,19 +539,19 @@ def lower_vector_work(work: VectorWork, config: CoreConfig, tag: str = "",
         ub = Region(MemSpace.UB, slot * int(chunk_elems * elem_b), (ce,), work.dtype)
         if load_input:
             if i >= 2:
-                e.wait_flag(Pipe.V, Pipe.MTE2, 0)
+                e.wait_flag(Pipe.V, Pipe.MTE2, EV_VEC_SLOT_FREE)
             e.emit(CopyInstr(dst=ub, src=Region(MemSpace.GM, 0, (ce,), work.dtype),
                              tag=tag))
-            e.set_flag(Pipe.MTE2, Pipe.V, 1)
-            e.wait_flag(Pipe.MTE2, Pipe.V, 1)
+            e.set_flag(Pipe.MTE2, Pipe.V, EV_VEC_CHUNK_READY)
+            e.wait_flag(Pipe.MTE2, Pipe.V, EV_VEC_CHUNK_READY)
         for _ in range(work.passes):
             e.emit(VectorInstr(op=VectorOpcode.MULS, dst=ub, srcs=(ub,),
                                scalar=1.0, tag=tag))
         if load_input:
-            e.set_flag(Pipe.V, Pipe.MTE2, 0)
+            e.set_flag(Pipe.V, Pipe.MTE2, EV_VEC_SLOT_FREE)
         if store_output:
-            e.set_flag(Pipe.V, Pipe.MTE3, 2)
-            e.wait_flag(Pipe.V, Pipe.MTE3, 2)
+            e.set_flag(Pipe.V, Pipe.MTE3, EV_VEC_RESULT_READY)
+            e.wait_flag(Pipe.V, Pipe.MTE3, EV_VEC_RESULT_READY)
             e.emit(CopyInstr(dst=Region(MemSpace.GM, 0, (ce,), work.dtype), src=ub,
                              tag=tag))
     return e.finish()
@@ -534,14 +567,24 @@ def lower_workload(work: OpWorkload, config: CoreConfig,
     flag-balanced, so the concatenation is a legal program.
     """
     tag = tag if tag is not None else work.name
-    instrs: List[Instruction] = []
+    name = f"{work.name}_{config.name}"
+    subs = []
+    reps: List[int] = []
     for g in work.gemms:
-        sub = lower_gemm(g.m, g.k, g.n, config, dtype=g.dtype, tag=tag,
-                         a_bytes_scale=a_bytes_scale_for_gemms,
-                         weight_density=weight_density)
-        for _ in range(g.count):
-            instrs.extend(sub.instructions)
+        subs.append(lower_gemm(g.m, g.k, g.n, config, dtype=g.dtype, tag=tag,
+                               a_bytes_scale=a_bytes_scale_for_gemms,
+                               weight_density=weight_density))
+        reps.append(g.count)
     for v in work.vector:
-        sub = lower_vector_work(v, config, tag=tag)
-        instrs.extend(sub.instructions)
-    return Program(instrs, name=f"{work.name}_{config.name}")
+        subs.append(lower_vector_work(v, config, tag=tag))
+        reps.append(1)
+    if _lowering_mode() != "objects" and all(
+            s._arena is not None for s in subs):
+        from ..isa.arena import InstructionArena
+        arena = InstructionArena.concat([s._arena for s in subs], reps)
+        return Program.from_arena(arena, name=name)
+    instrs: List[Instruction] = []
+    for sub, count in zip(subs, reps):
+        for _ in range(count):
+            instrs.extend(sub.instructions)
+    return Program(instrs, name=name)

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..config.core_configs import CoreConfig
 from ..errors import IsaError
 from ..isa.instructions import (
@@ -51,6 +53,12 @@ _COST_KIND = {
     WaitFlag: 2,
     PipeBarrier: 2,
 }
+
+# Columnar lookups for cost_columns: vector passes by vop id, plus the
+# two vop ids with the L0C special case.
+_VOP_PASSES = np.array([op.passes for op in VectorOpcode], np.int64)
+_VOP_COPY = list(VectorOpcode).index(VectorOpcode.COPY)
+_VOP_CAST = list(VectorOpcode).index(VectorOpcode.CAST)
 
 
 class CostModel:
@@ -120,6 +128,88 @@ class CostModel:
                 memo[key] = c
             append(c)
         return table
+
+    def cost_columns(self, arena) -> np.ndarray:
+        """Per-row cycle costs for a whole arena, fully vectorized.
+
+        Equal row-for-row to ``[self.cost(i) for i in materialize()]``
+        (asserted by tests): the ceil-of-float-division expressions below
+        are the *same* float64 divisions :meth:`cost` performs, so no
+        integer-vs-float rounding divergence is possible.  Works on
+        inexact arenas too — every priced quantity (cycles, nbytes, elems)
+        is column-encoded even for rows whose full semantics are not.
+        """
+        from ..isa.arena import DTYPE_BITS, DTYPE_TABLE
+        from ..isa.instructions import (
+            OP_BARRIER,
+            OP_COPY,
+            OP_CUBE,
+            OP_DECOMP,
+            OP_IMG2COL,
+            OP_SCALAR,
+            OP_SET,
+            OP_TRANSPOSE,
+            OP_VECTOR,
+            OP_WAIT,
+        )
+        kind = arena.kind
+        cost = np.zeros(arena.n, np.int64)
+        cost[(kind == OP_SET) | (kind == OP_WAIT)
+             | (kind == OP_BARRIER)] = _FLAG_COST
+        sc = kind == OP_SCALAR
+        if sc.any():
+            cost[sc] = arena.misc[sc]
+
+        mv = ((kind == OP_COPY) | (kind == OP_IMG2COL)
+              | (kind == OP_TRANSPOSE) | (kind == OP_DECOMP))
+        if mv.any():
+            # Img2Col charges its (expanded) destination; the other moves
+            # charge their source (Instruction.nbytes).
+            nb = np.where(kind[mv] == OP_IMG2COL,
+                          arena.nbytes[mv, 0], arena.nbytes[mv, 1])
+            width = self.datapath.width_matrix()[
+                arena.r_space[mv, 1], arena.r_space[mv, 0]]
+            c = (self.datapath.TRANSFER_OVERHEAD_CYCLES
+                 + np.ceil(nb / width).astype(np.int64))
+            c[nb <= 0] = self.datapath.TRANSFER_OVERHEAD_CYCLES
+            cost[mv] = c
+
+        cb = kind == OP_CUBE
+        if cb.any():
+            m = arena.r_d0[cb, 1]
+            k = arena.r_d1[cb, 1]
+            n = arena.r_d1[cb, 2]
+            dts = arena.r_dtype[cb, 1]
+            c = np.zeros(m.size, np.int64)
+            for dti in np.unique(dts):
+                m0, k0, n0 = self.cube_tile_shape(DTYPE_TABLE[dti])
+                sel = dts == dti
+                tiles = (np.ceil(m[sel] / m0) * np.ceil(k[sel] / k0)
+                         * np.ceil(n[sel] / n0))
+                c[sel] = _CUBE_STARTUP + tiles.astype(np.int64)
+            cost[cb] = c
+
+        vec = kind == OP_VECTOR
+        if vec.any():
+            has_src = arena.r_space[vec, 1] >= 0
+            slot = np.where(has_src, 1, 0)
+            rows = np.nonzero(vec)[0]
+            elems = arena.elems[rows, slot].astype(np.float64)
+            elem_bytes = DTYPE_BITS[arena.r_dtype[rows, slot]] / 8.0
+            vops = arena.vop[vec]
+            passes = _VOP_PASSES[vops]
+            per_pass = np.ceil(
+                elems * elem_bytes / self.config.vector_width_bytes)
+            c = _VEC_STARTUP + (per_pass * passes).astype(np.int64)
+            l0c = int(MemSpace.L0C)
+            special = (((vops == _VOP_COPY) | (vops == _VOP_CAST))
+                       & ((arena.r_space[vec] == l0c).any(axis=1)))
+            if special.any():
+                ub = np.ceil(elems[special] * elem_bytes[special]
+                             / self.config.ub_bytes_per_cycle)
+                c[special] = _VEC_STARTUP + ub.astype(np.int64)
+            cost[vec] = c
+        return cost
 
     def cost(self, instr: Instruction) -> int:
         """Cycles the instruction occupies its pipe."""

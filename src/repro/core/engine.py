@@ -36,6 +36,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import DeadlockError
+from ..isa.channels import pack_channel
 from ..isa.instructions import (
     CopyInstr,
     DecompressInstr,
@@ -86,9 +87,9 @@ def schedule(program: Program, costs: CostModel,
     return schedule_single_pass(program, costs)
 
 
-def _pack_channel(src: Pipe, dst: Pipe, event: int) -> int:
-    """Pack a (src_pipe, dst_pipe, event_id) channel into one int."""
-    return (event * _N_PIPES + src) * _N_PIPES + dst
+# The packed (src_pipe, dst_pipe, event_id) form shared with the
+# compiler and the arena (see the channel table in repro.isa.channels).
+_pack_channel = pack_channel
 
 
 def _drain(instrs: List[Instruction], costs: CostModel
@@ -195,6 +196,148 @@ def _drain(instrs: List[Instruction], costs: CostModel
     return starts, ends, pipe_of, cost_of
 
 
+def _match_waits(arena) -> np.ndarray:
+    """Static wait -> set pairing, computed vectorized.
+
+    The runtime FIFO rendezvous in :func:`_drain` admits a *static*
+    matching: every wait of a channel executes on the channel's dst pipe
+    and every set on its src pipe, and pipes retire in program order — so
+    the j-th program-order wait on a channel always pops the end time of
+    the j-th program-order set, regardless of interleaving.  Returns an
+    (n,) array: row index of the matched set for waits, -1 for non-waits,
+    and -2 for waits whose set never arrives (they stall forever, which
+    the drain reports as the same deadlock the dynamic rendezvous hits).
+    """
+    from ..isa.instructions import OP_SET, OP_WAIT
+
+    packed = arena.packed_channels()
+    kind = arena.kind
+    set_idx = np.nonzero(kind == OP_SET)[0]
+    wait_idx = np.nonzero(kind == OP_WAIT)[0]
+    match = np.full(arena.n, -1, np.int64)
+    if not wait_idx.size:
+        return match
+    if not set_idx.size:
+        match[wait_idx] = -2
+        return match
+
+    def chan_rank(ch: np.ndarray) -> np.ndarray:
+        """Occurrence number of each element within its channel value."""
+        order = np.argsort(ch, kind="stable")
+        sorted_ch = ch[order]
+        new_group = np.empty(ch.size, bool)
+        new_group[0] = True
+        np.not_equal(sorted_ch[1:], sorted_ch[:-1], out=new_group[1:])
+        group_start = np.maximum.accumulate(
+            np.where(new_group, np.arange(ch.size), 0))
+        ranks = np.empty(ch.size, np.int64)
+        ranks[order] = np.arange(ch.size) - group_start
+        return ranks
+
+    set_ch = packed[set_idx]
+    wait_ch = packed[wait_idx]
+    stride = np.int64(max(set_idx.size, wait_idx.size) + 1)
+    set_key = set_ch * stride + chan_rank(set_ch)
+    wait_key = wait_ch * stride + chan_rank(wait_ch)
+    order = np.argsort(set_key)
+    pos = np.searchsorted(set_key, wait_key, sorter=order)
+    pos_clipped = np.minimum(pos, set_key.size - 1)
+    candidates = set_idx[order[pos_clipped]]
+    found = (pos < set_key.size) & (set_key[order[pos_clipped]] == wait_key)
+    match[wait_idx] = np.where(found, candidates, -2)
+    return match
+
+
+def _drain_arena(arena, costs: CostModel,
+                 cost_col: Optional[np.ndarray] = None
+                 ) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
+    """Arena-native twin of :func:`_drain`.
+
+    The prepass reads the precomputed columns directly — per-pipe queues
+    from one ``nonzero`` per pipe, costs from
+    :meth:`CostModel.cost_columns`, flag pairing from :func:`_match_waits`
+    — so no instruction objects and no per-row Python dispatch exist
+    between the compiler and the drain loop.  The static matching also
+    strips every dict/deque operation out of the loop: a wait reads its
+    producer's end time straight out of ``ends`` (−1 = not yet retired),
+    and a retiring instruction wakes at most one registered waiter via a
+    flat array.  Each pipe's queue is pre-zipped into (row, cost, match)
+    tuples so the hot loop unpacks one small-list entry instead of
+    indexing three program-length columns.  Produces bit-identical
+    schedules to :func:`_drain` (asserted by tests against both it and
+    the fixpoint oracle).
+
+    Returns (starts, ends, pipe column, cost column); the caller may pass
+    a precomputed ``cost_col`` to reuse it for busy-cycle aggregation.
+    """
+    n = arena.n
+    pipe_col = arena.pipe
+    if cost_col is None:
+        cost_col = costs.cost_columns(arena)
+    match_col = _match_waits(arena)
+    queues: List[List[tuple]] = []
+    for p in range(_N_PIPES):
+        rows = np.nonzero(pipe_col == p)[0]
+        queues.append(list(zip(rows.tolist(), cost_col[rows].tolist(),
+                               match_col[rows].tolist())))
+
+    cursors = [0] * _N_PIPES
+    pipe_time = [0] * _N_PIPES
+    # waiter_of[s]: pipe currently stalled on set s (at most one — the
+    # channel's single consumer pipe), -1 when none.
+    waiter_of = [-1] * n
+    runnable: Deque[int] = deque(p for p in range(_N_PIPES) if queues[p])
+    starts = [0] * n
+    ends = [-1] * n
+    done = 0
+
+    while runnable:
+        pipe = runnable.popleft()
+        queue = queues[pipe]
+        cur = cursors[pipe]
+        now = pipe_time[pipe]
+        qlen = len(queue)
+        while cur < qlen:
+            index, c, producer = queue[cur]
+            dispatch_ready = index // _DISPATCH_PER_CYCLE
+            start = now if now > dispatch_ready else dispatch_ready
+            if producer != -1:
+                if producer < 0:  # unmatched wait: stalls forever
+                    break
+                signalled = ends[producer]
+                if signalled < 0:
+                    waiter_of[producer] = pipe  # stalled: not retired yet
+                    break
+                if signalled > start:
+                    start = signalled
+            end = start + c
+            now = end
+            starts[index] = start
+            ends[index] = end
+            woken = waiter_of[index]
+            if woken >= 0:
+                waiter_of[index] = -1
+                runnable.append(woken)
+            cur += 1
+            done += 1
+        cursors[pipe] = cur
+        pipe_time[pipe] = now
+
+    if done < n:
+        stuck = {
+            str(Pipe(p)): f"#{queues[p][cursors[p]][0]} "
+                          f"opcode {int(arena.kind[queues[p][cursors[p]][0]])}"
+            for p in range(_N_PIPES)
+            if cursors[p] < len(queues[p])
+        }
+        raise DeadlockError(
+            f"no runnable instruction; stalled pipe heads: {stuck}"
+        )
+
+    # schedule_single_pass reuses ends as the trace end column.
+    return starts, ends, pipe_col, cost_col
+
+
 def _columnar_trace(instrs: List[Instruction], starts: List[int],
                     ends: List[int], pipe_of: List[Pipe]) -> ExecutionTrace:
     """Sort scheduler output by (start, end, index) and build the trace.
@@ -221,6 +364,10 @@ def _columnar_trace(instrs: List[Instruction], starts: List[int],
 
 def schedule_single_pass(program: Program, costs: CostModel) -> ExecutionTrace:
     """Dependency-driven single-pass scheduler (O(instructions + stalls))."""
+    if isinstance(program, Program) and program._arena is not None:
+        starts, ends, pipe_of, _ = _drain_arena(program._arena, costs)
+        # The trace's event view still needs the instruction objects.
+        return _columnar_trace(program.instructions, starts, ends, pipe_of)
     instrs = (program.instructions if isinstance(program, Program)
               else list(program))
     starts, ends, pipe_of, _ = _drain(instrs, costs)
@@ -240,6 +387,31 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
     drain loop itself.  Equal to ``schedule(program, costs).summary()``
     by construction (asserted in tests/core/test_engine_equivalence.py).
     """
+    if isinstance(program, Program) and program._arena is not None:
+        arena = program._arena
+        cost_col = costs.cost_columns(arena)
+        _, ends, _, _ = _drain_arena(arena, costs, cost_col)
+        # int64 sums are exact through float64 weights (values < 2^53).
+        busy = np.bincount(arena.pipe, weights=cost_col,
+                           minlength=_N_PIPES).astype(np.int64)
+        from ..isa.arena import MOVE_OPS
+        mv = np.isin(arena.kind, MOVE_OPS)
+        nb = arena.nbytes
+        src_sp = arena.r_space[:, 1]
+        dst_sp = arena.r_space[:, 0]
+        L1, GM = int(MemSpace.L1), int(MemSpace.GM)
+        l1_read = int(nb[mv & (src_sp == L1), 1].sum())
+        gm_read = int(nb[mv & (src_sp == GM), 0].sum())
+        l1_write = int(nb[mv & (dst_sp == L1), 0].sum())
+        gm_write = int(nb[mv & (dst_sp == GM), 1].sum())
+        return TraceSummary(
+            total_cycles=max(ends, default=0),
+            busy_by_pipe=tuple(int(b) for b in busy),
+            l1_read_bytes=l1_read,
+            l1_write_bytes=l1_write,
+            gm_read_bytes=gm_read,
+            gm_write_bytes=gm_write,
+        )
     instrs = (program.instructions if isinstance(program, Program)
               else list(program))
     _, ends, pipe_of, cost_of = _drain(instrs, costs)

@@ -24,12 +24,14 @@ from .instructions import (
     WaitFlag,
     PipeBarrier,
 )
+from .arena import InstructionArena
 from .program import Program
 
 __all__ = [
     "Pipe",
     "MemSpace",
     "Region",
+    "InstructionArena",
     "Instruction",
     "CubeMatmul",
     "VectorInstr",

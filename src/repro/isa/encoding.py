@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 from ..dtypes import dtype_by_name
 from ..errors import IsaError
 from .instructions import (
+    OPCODE_OF,
     CopyInstr,
     CubeMatmul,
     DecompressInstr,
@@ -52,18 +53,9 @@ __all__ = [
 
 WORD_BYTES = 24
 
-_OPCODE_OF = {
-    CubeMatmul: 1,
-    VectorInstr: 2,
-    CopyInstr: 3,
-    Img2ColInstr: 4,
-    TransposeInstr: 5,
-    DecompressInstr: 6,
-    ScalarInstr: 7,
-    SetFlag: 8,
-    WaitFlag: 9,
-    PipeBarrier: 10,
-}
+# The binary opcode IS the canonical instruction opcode (one shared
+# table in isa/instructions.py, also used by the columnar arena).
+_OPCODE_OF = OPCODE_OF
 _SPACES = list(MemSpace)
 _PIPES = list(Pipe)
 _DTYPES = ["fp32", "fp16", "int32", "int8", "int4"]

@@ -30,6 +30,17 @@ __all__ = [
     "WaitFlag",
     "PipeBarrier",
     "COPY_ROUTES",
+    "OP_CUBE",
+    "OP_VECTOR",
+    "OP_COPY",
+    "OP_IMG2COL",
+    "OP_TRANSPOSE",
+    "OP_DECOMP",
+    "OP_SCALAR",
+    "OP_SET",
+    "OP_WAIT",
+    "OP_BARRIER",
+    "OPCODE_OF",
 ]
 
 
@@ -473,3 +484,32 @@ class PipeBarrier(Instruction):
     @property
     def pipe(self) -> Pipe:
         return self.barrier_pipe
+
+
+# Canonical numeric opcodes — one id per instruction class.  The binary
+# encoding (isa/encoding.py), the columnar instruction arena
+# (isa/arena.py) and the cost model's columnar dispatch all key off this
+# table, so the ids agree across every columnar tier.
+OP_CUBE = 1
+OP_VECTOR = 2
+OP_COPY = 3
+OP_IMG2COL = 4
+OP_TRANSPOSE = 5
+OP_DECOMP = 6
+OP_SCALAR = 7
+OP_SET = 8
+OP_WAIT = 9
+OP_BARRIER = 10
+
+OPCODE_OF: Dict[type, int] = {
+    CubeMatmul: OP_CUBE,
+    VectorInstr: OP_VECTOR,
+    CopyInstr: OP_COPY,
+    Img2ColInstr: OP_IMG2COL,
+    TransposeInstr: OP_TRANSPOSE,
+    DecompressInstr: OP_DECOMP,
+    ScalarInstr: OP_SCALAR,
+    SetFlag: OP_SET,
+    WaitFlag: OP_WAIT,
+    PipeBarrier: OP_BARRIER,
+}

@@ -1,14 +1,38 @@
-"""Program container: an ordered instruction list with static validation."""
+"""Program container: a thin handle over a columnar instruction arena.
+
+A :class:`Program` can be built either from instruction objects (builder
+APIs, TIK/TBE/CCE frontends, tests) or directly from an
+:class:`~repro.isa.arena.InstructionArena` (the vectorized lowering fast
+path).  Whichever side exists first, the other is derived lazily:
+
+* object-built programs grow an arena on first columnar access
+  (validation, cost columns, scheduler prepass);
+* arena-built programs materialize instruction objects only when a
+  consumer actually iterates rows (functional replay, CCE text,
+  encoding) — mirroring how ``TraceEvent`` is a lazy view over the
+  columnar trace.
+
+Static validation (flag pairing, scratchpad bounds) runs as masked
+column reductions whenever the arena's columns are exact, and falls back
+to the per-object walk for exotic rows (scalar ops, img2col, 3-source
+vector selects).
+"""
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..config.core_configs import CoreConfig
 from ..errors import IsaError
+from .arena import InstructionArena
 from .instructions import (
+    OP_CUBE,
+    OP_SET,
+    OP_VECTOR,
+    OP_WAIT,
     CopyInstr,
     CubeMatmul,
     DecompressInstr,
@@ -33,7 +57,6 @@ _SPACE_CAPACITY_ATTR = {
 }
 
 
-@dataclass
 class Program:
     """An ordered list of instructions for one Ascend core.
 
@@ -42,14 +65,50 @@ class Program:
     ordering only exists where flags impose it (Figure 3).
     """
 
-    instructions: List[Instruction] = field(default_factory=list)
-    name: str = "program"
+    __slots__ = ("name", "_instructions", "_arena")
+
+    def __init__(self, instructions: Optional[List[Instruction]] = None,
+                 name: str = "program",
+                 arena: Optional[InstructionArena] = None) -> None:
+        if arena is not None and instructions is not None:
+            raise IsaError("pass instructions or an arena, not both")
+        self.name = name
+        self._arena = arena
+        self._instructions: Optional[List[Instruction]] = (
+            instructions if instructions is not None
+            else (None if arena is not None else []))
+
+    @classmethod
+    def from_arena(cls, arena: InstructionArena, name: str = "program"
+                   ) -> "Program":
+        return cls(arena=arena, name=name)
+
+    # -- the two representations ----------------------------------------------
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        """The instruction objects (materialized from the arena on first
+        access for arena-built programs)."""
+        if self._instructions is None:
+            self._instructions = self._arena.materialize()
+        return self._instructions
+
+    @property
+    def arena(self) -> InstructionArena:
+        """The columnar form (built from the objects on first access for
+        object-built programs)."""
+        if self._arena is None:
+            self._arena = InstructionArena.from_instructions(
+                self._instructions)
+        return self._arena
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
 
     def __len__(self) -> int:
-        return len(self.instructions)
+        if self._instructions is not None:
+            return len(self._instructions)
+        return self._arena.n
 
     def __getitem__(self, idx):
         return self.instructions[idx]
@@ -57,7 +116,12 @@ class Program:
     def append(self, instr: Instruction) -> None:
         if not isinstance(instr, Instruction):
             raise IsaError(f"not an instruction: {instr!r}")
-        self.instructions.append(instr)
+        instrs = self.instructions
+        if instrs is getattr(self._arena, "_objects", None):
+            # Don't mutate the arena's cached view in place.
+            instrs = self._instructions = list(instrs)
+        self._arena = None  # stale columns
+        instrs.append(instr)
 
     def extend(self, instrs: Iterable[Instruction]) -> None:
         for instr in instrs:
@@ -73,14 +137,27 @@ class Program:
         return queues
 
     def pipe_counts(self) -> Dict[Pipe, int]:
+        if self._arena is not None:
+            counts = np.bincount(self._arena.pipe, minlength=len(Pipe))
+            return {p: int(counts[p]) for p in Pipe}
         counts = Counter(instr.pipe for instr in self.instructions)
         return {p: counts.get(p, 0) for p in Pipe}
 
     def total_macs(self) -> int:
-        return sum(i.macs for i in self.instructions if isinstance(i, CubeMatmul))
+        arena = self.arena
+        cube = arena.kind == OP_CUBE
+        # m*k from A (slot 1), n from B (slot 2).
+        return int(np.sum(arena.r_d0[cube, 1] * arena.r_d1[cube, 1]
+                          * arena.r_d1[cube, 2]))
 
     def total_vector_elems(self) -> int:
-        return sum(i.elems for i in self.instructions if isinstance(i, VectorInstr))
+        arena = self.arena
+        vec = arena.kind == OP_VECTOR
+        # Source elements when there is a source, else dst (matches
+        # VectorInstr.elems: reductions shrink the destination).
+        elems = np.where(arena.r_space[:, 1] >= 0,
+                         arena.elems[:, 1], arena.elems[:, 0])
+        return int(np.sum(elems[vec]))
 
     # -- validation -----------------------------------------------------------
 
@@ -92,7 +169,54 @@ class Program:
         must have a set, otherwise the core deadlocks; every set must have
         a wait, otherwise a flag register leaks (both are programming
         errors on real hardware).
+
+        Runs as masked column reductions over the arena whenever its
+        columns are exact; programs holding rows only their objects can
+        describe (scalar ops, img2col, 3-source selects) take the
+        per-object walk instead.
         """
+        arena = self.arena
+        if arena.exact:
+            self._validate_columns(arena, config)
+        else:
+            self._validate_objects(config)
+
+    def _validate_columns(self, arena: InstructionArena,
+                          config: Optional[CoreConfig]) -> None:
+        from .channels import unpack_channel
+        packed = arena.packed_channels()
+        sets = packed[arena.kind == OP_SET]
+        waits = packed[arena.kind == OP_WAIT]
+        if sets.size or waits.size:
+            chan, idx = np.unique(np.concatenate((sets, waits)),
+                                  return_inverse=True)
+            n_set = np.bincount(idx[:sets.size], minlength=chan.size)
+            n_wait = np.bincount(idx[sets.size:], minlength=chan.size)
+            bad = np.nonzero(n_set != n_wait)[0]
+            if bad.size:
+                src, dst, event = unpack_channel(int(chan[bad[0]]))
+                raise IsaError(
+                    f"unbalanced flags on {src}->{dst} event {event}: "
+                    f"{int(n_set[bad[0]])} set vs {int(n_wait[bad[0]])} wait"
+                )
+        if config is None:
+            return
+        ends = arena.region_ends()
+        for space, attr in _SPACE_CAPACITY_ATTR.items():
+            capacity = getattr(config, attr)
+            over = (arena.r_space == int(space)) & (ends > capacity)
+            if over.any():
+                row = int(np.nonzero(over.any(axis=1))[0][0])
+                slot = int(np.nonzero(over[row])[0][0])
+                instr = self.instructions[row]
+                raise IsaError(
+                    f"instruction #{row} ({type(instr).__name__}) overruns "
+                    f"{space}: needs [{int(arena.r_offset[row, slot])}, "
+                    f"{int(ends[row, slot])}) but {config.name} provides "
+                    f"{capacity} bytes"
+                )
+
+    def _validate_objects(self, config: Optional[CoreConfig]) -> None:
         sets: Counter = Counter()
         waits: Counter = Counter()
         for instr in self.instructions:
@@ -125,6 +249,15 @@ class Program:
                 f"{region.space}: needs [{region.offset}, {region.end}) "
                 f"but {config.name} provides {capacity} bytes"
             )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return (self.name == other.name
+                and self.instructions == other.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program(name={self.name!r}, {len(self)} instrs)"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         counts = ", ".join(

@@ -12,6 +12,8 @@ import enum
 import math
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..config.core_configs import CoreConfig
 from ..errors import ConfigError
 from ..isa.memref import MemSpace
@@ -67,9 +69,28 @@ class DatapathModel:
         # (src, dst, nbytes) -> cycles; tiled programs repeat a handful
         # of distinct transfer shapes thousands of times.
         self._cycles_cache: Dict[tuple, int] = {}
+        self._width_matrix: Optional[np.ndarray] = None
 
     def bytes_per_cycle(self, route: Route) -> float:
         return self._bytes_per_cycle[route]
+
+    def width_matrix(self) -> np.ndarray:
+        """(n_spaces, n_spaces) bus widths indexed by (src, dst) space ints.
+
+        NaN marks unrouted pairs; the columnar cost model fancy-indexes
+        this instead of calling :func:`route_for` per instruction.
+        """
+        if self._width_matrix is None:
+            mat = np.full((len(MemSpace), len(MemSpace)), np.nan)
+            for src in MemSpace:
+                for dst in MemSpace:
+                    try:
+                        mat[src, dst] = self._bytes_per_cycle[
+                            route_for(src, dst)]
+                    except ConfigError:
+                        pass
+            self._width_matrix = mat
+        return self._width_matrix
 
     def cycles_for(self, src: MemSpace, dst: MemSpace, nbytes: int) -> int:
         """Cycles to move ``nbytes`` from ``src`` to ``dst``."""

@@ -1,0 +1,65 @@
+"""The shared flag-channel table: packing, and compiler conformance."""
+
+from repro.compiler import lower_gemm, lower_vector_work
+from repro.config import ASCEND, ASCEND_MAX
+from repro.graph.workload import VectorWork
+from repro.isa.channels import (
+    GEMM_CHANNELS,
+    VECTOR_CHANNELS,
+    N_PIPES,
+    pack_channel,
+    unpack_channel,
+)
+from repro.isa.instructions import SetFlag, WaitFlag
+from repro.isa.pipes import Pipe
+
+
+class TestPacking:
+    def test_round_trip_all_documented_channels(self):
+        for src, dst, event in (*GEMM_CHANNELS, *VECTOR_CHANNELS):
+            assert unpack_channel(pack_channel(src, dst, event)) \
+                == (src, dst, event)
+
+    def test_packed_form_is_injective(self):
+        packed = [pack_channel(s, d, e)
+                  for s, d, e in (*GEMM_CHANNELS, *VECTOR_CHANNELS)]
+        assert len(set(packed)) == len(packed)
+
+    def test_n_pipes_matches_enum(self):
+        assert N_PIPES == len(Pipe)
+
+
+def _flag_channels(program):
+    return {
+        (i.src_pipe, i.dst_pipe, i.event_id)
+        for i in program.instructions
+        if isinstance(i, (SetFlag, WaitFlag))
+    }
+
+
+class TestCompilerConformance:
+    """Every channel the lowerers emit appears in the shared table."""
+
+    def test_gemm_channels_documented(self):
+        for config in (ASCEND, ASCEND_MAX):
+            prog = lower_gemm(192, 384, 128, config)
+            used = _flag_channels(prog)
+            assert used, "gemm program emits flags"
+            assert used <= set(GEMM_CHANNELS), used - set(GEMM_CHANNELS)
+
+    def test_vector_channels_documented(self):
+        prog = lower_vector_work(VectorWork(elems=300000), ASCEND)
+        used = _flag_channels(prog)
+        assert used, "vector program emits flags"
+        assert used <= set(VECTOR_CHANNELS), used - set(VECTOR_CHANNELS)
+
+    def test_channel_directions_are_consistent(self):
+        # A channel's waits execute on its dst pipe and its sets on the
+        # src pipe — the invariant the static wait matching relies on.
+        for prog in (lower_gemm(96, 200, 64, ASCEND_MAX),
+                     lower_vector_work(VectorWork(elems=500000), ASCEND_MAX)):
+            for i in prog.instructions:
+                if isinstance(i, SetFlag):
+                    assert i.pipe == i.src_pipe
+                elif isinstance(i, WaitFlag):
+                    assert i.pipe == i.dst_pipe
