@@ -2,10 +2,15 @@
 # without an editable install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-equiv bench bench-speed bench-gate ci
+.PHONY: test test-equiv test-faults bench bench-speed bench-gate ci
 
 test:
 	$(PY) -m pytest -x -q
+
+# Fault-injection smoke: the seeded RAS campaigns (ECC, sync, stall,
+# cache, arena, checkpoint) plus the faults-off byte-identity gate.
+test-faults:
+	$(PY) -m pytest -q -m faults
 
 # Equivalence gates: columnar trace aggregates vs the legacy event walk,
 # parallel functional execution vs the serial oracle, and the fast
@@ -26,6 +31,7 @@ bench-speed:
 bench-gate:
 	$(PY) benchmarks/bench_sim_speed.py --gate
 
-# CI gate: the tier-1 suite, the equivalence suites, a ~10 s
-# simulator-speed smoke run, and the cold-compile perf gate.
-ci: test test-equiv bench-speed bench-gate
+# CI gate: the tier-1 suite, the equivalence suites, the
+# fault-injection smoke suite, a ~10 s simulator-speed smoke run, and
+# the cold-compile perf gate.
+ci: test test-equiv test-faults bench-speed bench-gate

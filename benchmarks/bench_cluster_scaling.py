@@ -7,12 +7,19 @@ our coarse model targets the same sub-2-minute regime and the scaling
 *shape*: near-linear to hundreds of chips, efficiency tapering at 2048).
 """
 
+import math
+
 import pytest
 
 from repro.analysis import ascii_table
 from repro.bench import run_sweep
 from repro.cluster import DataParallelTrainer, FatTreeCluster
+from repro.reliability import expected_runtime
 from repro.soc import TrainingSoc
+
+# Default --mtbf-hours sweep: optimistic datacenter part -> pessimistic.
+_MTBF_SWEEP = (100000.0, 25000.0, 5000.0, 1000.0)
+_FAILURE_CHIPS = (64, 256, 1024, 2048)
 
 
 def _time_to_train(chips):
@@ -56,6 +63,57 @@ def test_cluster_scaling_curve(report, benchmark, soc_910):
     assert by_chips[2048].scaling_efficiency > 0.5
 
 
+def _failure_rows(mtbf_sweep, chips_list):
+    """Effective time-to-train under checkpoint/restart, per MTBF.
+
+    The failure-free estimate is computed once per cluster size; each
+    MTBF column then applies the Young/Daly renewal model on top, so the
+    sweep costs one compile no matter how many MTBF points it plots.
+    """
+    soc = TrainingSoc()
+    trainer = DataParallelTrainer()
+    ideal = {chips: trainer.resnet50_time_to_train(chips, soc=soc)
+             for chips in chips_list}
+    rows = []
+    for chips in chips_list:
+        row = [chips, f"{ideal[chips].total_seconds:.0f} s"]
+        for mtbf in mtbf_sweep:
+            run = expected_runtime(ideal[chips].total_seconds, mtbf, chips)
+            row.append("never" if math.isinf(run.effective_seconds)
+                       else f"{run.effective_seconds:.0f} s "
+                            f"({run.overhead_factor:.2f}x)")
+        rows.append(row)
+    return rows
+
+
+def _failure_table(mtbf_sweep=_MTBF_SWEEP, chips_list=_FAILURE_CHIPS):
+    headers = ["chips", "ideal"] + [f"MTBF {m:,.0f} h" for m in mtbf_sweep]
+    return ascii_table(
+        headers, _failure_rows(mtbf_sweep, chips_list),
+        title="Section 8 + RAS — ResNet-50 effective time-to-train "
+              "with checkpoint/restart (per-chip MTBF sweep)")
+
+
+def test_cluster_scaling_with_failures(report, benchmark):
+    table = benchmark.pedantic(_failure_table, rounds=1, iterations=1)
+    report("cluster_scaling_mtbf", table)
+
+    trainer = DataParallelTrainer()
+    soc = TrainingSoc()
+    curve = trainer.failure_scaling_curve(
+        _FAILURE_CHIPS, mtbf_hours_per_chip=1000.0, soc=soc)
+    overheads = [p.overhead_factor for p in curve]
+    # The robustness cost grows with scale: the cluster MTBF shrinks
+    # linearly in chips while per-chip compute keeps shrinking too.
+    assert overheads == sorted(overheads)
+    assert overheads[-1] > overheads[0]
+    # A healthier part pays less at every scale.
+    healthy = trainer.failure_scaling_curve(
+        _FAILURE_CHIPS, mtbf_hours_per_chip=100000.0, soc=soc)
+    for good, bad in zip(healthy, curve):
+        assert good.total_seconds <= bad.total_seconds
+
+
 def test_hierarchical_beats_flat_allreduce(report, benchmark):
     from repro.cluster import allreduce_seconds, hierarchical_allreduce_seconds
 
@@ -78,3 +136,32 @@ def test_hierarchical_beats_flat_allreduce(report, benchmark):
     for chips, flat, hier in rows:
         if chips > 8:
             assert hier < flat, chips
+
+
+def main(argv=None) -> int:
+    import argparse
+    import pathlib
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mtbf-hours", default=",".join(str(int(m)) for m in _MTBF_SWEEP),
+        help="comma-separated per-chip MTBF values (hours) to sweep")
+    parser.add_argument(
+        "--chips", default=",".join(str(c) for c in _FAILURE_CHIPS),
+        help="comma-separated cluster sizes")
+    args = parser.parse_args(argv)
+
+    mtbf_sweep = tuple(float(m) for m in args.mtbf_hours.split(","))
+    chips_list = tuple(int(c) for c in args.chips.split(","))
+    table = _failure_table(mtbf_sweep, chips_list)
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "cluster_scaling_mtbf.txt").write_text(table + "\n")
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Fault injection & RAS: what breaks, and how the stack absorbs it.
+
+Walks every fault model in ``repro.reliability`` on a small workload:
+
+* scratchpad bit flips through the SECDED ECC model (corrected,
+  detected, or — with ECC off — silently corrupting);
+* dropped flag ``set`` events turning into a structured deadlock report
+  that names the guilty channel instead of an opaque hang;
+* pipe stall faults stretching the schedule through the cost model;
+* compile-cache bit-rot quarantined and recompiled around;
+* arena-lowering failures degrading gracefully to the object path;
+* MTBF-driven chip failures bending the cluster time-to-train curve.
+
+Everything is seeded and deterministic: re-running this script injects
+the exact same faults at the exact same sites.
+
+Run:  python examples/fault_injection.py
+"""
+
+import numpy as np
+
+from repro.compiler import cache, lower_gemm
+from repro.compiler.lowering import GemmLayout, lowering_stats, \
+    reset_lowering_stats
+from repro.config import ASCEND_MAX
+from repro.core import AscendCore, CostModel
+from repro.core.engine import schedule
+from repro.dtypes import FP16
+from repro.errors import DeadlockError, EccError
+from repro.isa import MemSpace, Region
+from repro.reliability import expected_runtime, fault_scope, \
+    parse_fault_spec
+
+
+def _gemm_program():
+    return lower_gemm(96, 64, 48, ASCEND_MAX,
+                      layout=GemmLayout(0, 1 << 22, 1 << 23))
+
+
+def demo_ecc() -> None:
+    print("[ECC] scratchpad bit flips under SECDED")
+    core = AscendCore(ASCEND_MAX)
+    region = Region(MemSpace.GM, 0, (32, 32), FP16)
+    rng = np.random.default_rng(0)
+    core.memory.write(region, rng.standard_normal((32, 32)).astype(np.float16))
+    clean = core.memory.read(region)
+
+    with fault_scope(parse_fault_spec("seed=1;membit:p=1,bits=1")) as inj:
+        read = core.memory.read(region)
+        assert np.array_equal(read, clean)
+        print(f"  single-bit: corrected in-line "
+              f"({inj.counters['ecc_corrected']} corrections, data clean)")
+
+    with fault_scope(parse_fault_spec("seed=1;membit:p=1,bits=2")):
+        try:
+            core.memory.read(region)
+        except EccError as err:
+            print(f"  double-bit: detected, structured error -> {err}")
+
+    with fault_scope(parse_fault_spec("seed=1;membit:p=1,bits=1,ecc=0")) as inj:
+        corrupted = core.memory.read(region)
+        diff = int((corrupted.view(np.uint8) != clean.view(np.uint8)).sum())
+        print(f"  ECC off:    {diff} byte(s) silently wrong — why the "
+              f"parts ship with ECC")
+
+
+def demo_sync() -> None:
+    print("\n[SYNC] a dropped set_flag becomes a diagnosable deadlock")
+    prog = _gemm_program()
+    costs = CostModel(ASCEND_MAX)
+    with fault_scope(parse_fault_spec("seed=2;sync:action=drop,p=0.2")):
+        try:
+            schedule(prog, costs)
+            print("  (this seed dropped no critical flag)")
+        except DeadlockError as err:
+            report = err.report
+            print(f"  guilty channel(s): "
+                  f"{', '.join(report.guilty_channel_names)}")
+            print(f"  {report.describe().splitlines()[0]}")
+
+
+def demo_stall() -> None:
+    print("\n[STALL] a slow pipe stretches the schedule")
+    prog = _gemm_program()
+    costs = CostModel(ASCEND_MAX)
+    baseline = schedule(prog, costs).total_cycles
+    with fault_scope(parse_fault_spec(
+            "seed=3;stall:pipe=MTE2,factor=4,p=0.5")) as inj:
+        stalled = schedule(prog, costs).total_cycles
+        print(f"  {inj.counters['stall_injected']} instruction(s) slowed: "
+              f"{baseline:,} -> {stalled:,} cycles "
+              f"({stalled / baseline:.2f}x)")
+
+
+def demo_cache(tmp: str) -> None:
+    print("\n[CACHE] injected bit-rot is quarantined, never trusted")
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    cache.reset_stats()
+    with fault_scope(parse_fault_spec("seed=4;cache:p=1")):
+        cache.store("demo", {"payload": 123})
+        loaded = cache.load("demo")
+    print(f"  corrupted artifact load -> {loaded} "
+          f"(quarantined: {cache.stats()['quarantined']}, recompile instead)")
+    del os.environ["REPRO_CACHE_DIR"]
+
+
+def demo_arena() -> None:
+    print("\n[ARENA] lowering failures degrade to the object path")
+    reset_lowering_stats()
+    with fault_scope(parse_fault_spec("seed=5;arena:p=1")):
+        prog = lower_gemm(64, 64, 64, ASCEND_MAX)
+    cycles = schedule(prog, CostModel(ASCEND_MAX)).total_cycles
+    print(f"  {lowering_stats()['arena_fallbacks']} fallback(s); the "
+          f"object-path program still schedules ({cycles:,} cycles)")
+
+
+def demo_cluster() -> None:
+    print("\n[CLUSTER] MTBF-driven failures bend the time-to-train curve")
+    for chips in (256, 1024, 2048):
+        run = expected_runtime(compute_seconds=120.0 * 256 / chips,
+                               mtbf_hours_per_chip=1000.0, chips=chips)
+        print(f"  {chips:5d} chips: {run.compute_seconds:6.1f} s ideal -> "
+              f"{run.effective_seconds:6.1f} s effective "
+              f"({run.overhead_factor:.2f}x, "
+              f"MTBF {run.cluster_mtbf_seconds / 3600:.1f} h)")
+
+
+def main() -> None:
+    import tempfile
+
+    demo_ecc()
+    demo_sync()
+    demo_stall()
+    with tempfile.TemporaryDirectory() as tmp:
+        demo_cache(tmp)
+    demo_arena()
+    demo_cluster()
+    print("\nEvery injected fault was corrected, detected with a "
+          "structured report, or recovered — never an unstructured crash.")
+
+
+if __name__ == "__main__":
+    main()

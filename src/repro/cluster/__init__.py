@@ -7,7 +7,11 @@ bridged by PCIe; a *cluster* connects up to 256 servers (2048 chips,
 
 from .topology import HccsGroup, Ascend910Server, FatTreeCluster
 from .collectives import allreduce_seconds, hierarchical_allreduce_seconds
-from .training import DataParallelTrainer, TimeToTrain
+from .training import (
+    DataParallelTrainer,
+    FaultTolerantTimeToTrain,
+    TimeToTrain,
+)
 
 __all__ = [
     "HccsGroup",
@@ -17,4 +21,5 @@ __all__ = [
     "hierarchical_allreduce_seconds",
     "DataParallelTrainer",
     "TimeToTrain",
+    "FaultTolerantTimeToTrain",
 ]

@@ -13,12 +13,21 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
+from ..reliability.checkpoint import (
+    CheckpointedRun,
+    CheckpointPolicy,
+    expected_runtime,
+)
 from ..soc.soc import SocRunResult
 from ..soc.training_soc import TrainingSoc
 from .collectives import hierarchical_allreduce_seconds
 from .topology import FatTreeCluster
 
-__all__ = ["DataParallelTrainer", "TimeToTrain"]
+__all__ = [
+    "DataParallelTrainer",
+    "TimeToTrain",
+    "FaultTolerantTimeToTrain",
+]
 
 _IMAGENET_IMAGES = 1_281_167
 
@@ -46,6 +55,35 @@ class TimeToTrain:
     @property
     def images_per_second(self) -> float:
         return self.global_batch / self.step_seconds
+
+
+@dataclass(frozen=True)
+class FaultTolerantTimeToTrain:
+    """A :class:`TimeToTrain` wrapped with checkpoint/restart reality.
+
+    ``ideal`` is the failure-free estimate; ``checkpointed`` applies the
+    Young/Daly renewal model for the given per-chip MTBF, so the
+    effective time-to-train bends away from linear scaling once the
+    cluster-level failure rate catches up with the shrinking compute.
+    """
+
+    ideal: TimeToTrain
+    checkpointed: CheckpointedRun
+    mtbf_hours_per_chip: float
+
+    @property
+    def chips(self) -> int:
+        return self.ideal.chips
+
+    @property
+    def total_seconds(self) -> float:
+        """Expected wall clock including checkpoints and recompute."""
+        return self.checkpointed.effective_seconds
+
+    @property
+    def overhead_factor(self) -> float:
+        """effective / failure-free (1.0 = failures cost nothing)."""
+        return self.checkpointed.overhead_factor
 
 
 class DataParallelTrainer:
@@ -88,6 +126,43 @@ class DataParallelTrainer:
         return TimeToTrain(chips=chips, global_batch=global_batch,
                            step_seconds=step_s, compute_seconds=compute_s,
                            allreduce_seconds=comm_s, steps=steps)
+
+    def time_to_train_with_failures(
+            self, chips: int, mtbf_hours_per_chip: float = 25000.0,
+            per_chip_batch: int = 32, epochs: int = 44,
+            soc: Optional[TrainingSoc] = None,
+            policy: Optional[CheckpointPolicy] = None,
+    ) -> FaultTolerantTimeToTrain:
+        """ResNet-50 time-to-train under MTBF-driven chip failures.
+
+        The failure-free estimate is stretched by the checkpoint/restart
+        renewal model (:mod:`repro.reliability.checkpoint`); an
+        unsurvivable configuration comes back with ``inf`` wall clock
+        rather than raising, so sweeps can plot the cliff.
+        """
+        ideal = self.resnet50_time_to_train(
+            chips, per_chip_batch=per_chip_batch, epochs=epochs, soc=soc)
+        run = expected_runtime(ideal.total_seconds, mtbf_hours_per_chip,
+                               chips, policy=policy)
+        return FaultTolerantTimeToTrain(
+            ideal=ideal, checkpointed=run,
+            mtbf_hours_per_chip=mtbf_hours_per_chip)
+
+    def failure_scaling_curve(
+            self, chip_counts: Sequence[int],
+            mtbf_hours_per_chip: float = 25000.0,
+            per_chip_batch: int = 32,
+            soc: Optional[TrainingSoc] = None,
+            policy: Optional[CheckpointPolicy] = None,
+    ) -> List[FaultTolerantTimeToTrain]:
+        """Failure-aware scaling curve across cluster sizes."""
+        soc = soc or TrainingSoc()
+        return [
+            self.time_to_train_with_failures(
+                chips, mtbf_hours_per_chip=mtbf_hours_per_chip,
+                per_chip_batch=per_chip_batch, soc=soc, policy=policy)
+            for chips in chip_counts
+        ]
 
     def scaling_curve(self, chip_counts: Sequence[int],
                       per_chip_batch: int = 32,

@@ -36,7 +36,8 @@ __all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
            "load", "store", "model_content_key", "load_model", "store_model",
            "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats",
            "LruCache", "memory_max_entries", "program_cache_enabled",
-           "store_arena", "load_arena"]
+           "store_arena", "load_arena", "quarantine_dir",
+           "timing_stats_bypassed"]
 
 # Bump when lowering, the cost model, or the payload shape changes.
 SCHEMA_VERSION = 1
@@ -50,7 +51,29 @@ _DEFAULT_DIR = ".repro_cache"
 _STATS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0,
           "memory_hits": 0, "model_hits": 0, "model_stores": 0,
           "model_memory_hits": 0, "evictions": 0,
-          "arena_hits": 0, "arena_stores": 0}
+          "arena_hits": 0, "arena_stores": 0, "quarantined": 0,
+          "fault_bypasses": 0}
+
+
+def timing_stats_bypassed() -> bool:
+    """Whether compiled-timing caches are suspended for fault injection.
+
+    Stall and sync faults perturb schedules, so while such a campaign
+    is active every stats tier (memory and persistent, layer and model)
+    is bypassed in both directions: a cached clean schedule would mask
+    the injected faults, and a faulted schedule must never be served to
+    a later clean run.  The arena/program cache is unaffected —
+    lowering is timing-independent.
+    """
+    from ..reliability.injector import active_injector
+
+    inj = active_injector()
+    if inj is None:
+        return False
+    if inj.has_stall_faults() or inj.has_sync_faults():
+        _STATS["fault_bypasses"] += 1
+        return True
+    return False
 
 
 def enabled() -> bool:
@@ -67,19 +90,40 @@ def cache_dir() -> Path:
 def memory_max_entries() -> Optional[int]:
     """Entry cap for the in-memory tiers (``REPRO_CACHE_MAX_ENTRIES``).
 
-    None (the default) means unbounded — the historical behavior.  A cap
-    matters for long-lived sweep processes that compile thousands of
-    distinct (design point, workload) pairs: each CompiledLayer is small,
-    but whole-model entries hold full layer lists.
+    None (the default) means unbounded — the historical behavior; ``0``
+    requests unbounded explicitly.  A cap matters for long-lived sweep
+    processes that compile thousands of distinct (design point,
+    workload) pairs: each CompiledLayer is small, but whole-model
+    entries hold full layer lists.  Invalid values (non-integers,
+    negatives) raise :class:`~repro.errors.ConfigError` naming the
+    variable instead of silently running unbounded.
     """
-    raw = os.environ.get(_ENV_MAX_ENTRIES)
-    if not raw:
-        return None
+    from ..config.env import env_int
+
+    cap = env_int(_ENV_MAX_ENTRIES, default=None, minimum=0)
+    return cap if cap else None
+
+
+def quarantine_dir() -> Path:
+    """Where corrupt artifacts are moved for post-mortem inspection."""
+    return cache_dir() / "quarantine"
+
+
+def _quarantine(path: Path) -> None:
+    """Move a corrupt artifact aside so the next lookup recompiles.
+
+    Retry-with-quarantine: a truncated or garbled entry (torn write from
+    a crashed worker, disk corruption, an injected cache fault) must
+    never crash compilation *or* keep poisoning every subsequent read.
+    Failures here degrade to the plain miss path.
+    """
     try:
-        cap = int(raw)
-    except ValueError:
-        return None
-    return cap if cap > 0 else None
+        directory = quarantine_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        os.replace(path, directory / path.name)
+        _STATS["quarantined"] += 1
+    except OSError:
+        _STATS["errors"] += 1
 
 
 class LruCache(MutableMapping):
@@ -196,7 +240,13 @@ def load(key: str) -> Optional[Dict[str, Any]]:
     except FileNotFoundError:
         _STATS["misses"] += 1
         return None
-    except (OSError, ValueError):
+    except ValueError:
+        # Corrupt artifact: quarantine it and recompile instead of
+        # crashing (or re-reading the same garbage forever).
+        _STATS["errors"] += 1
+        _quarantine(path)
+        return None
+    except OSError:
         _STATS["errors"] += 1
         return None
     if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
@@ -230,6 +280,27 @@ def store(key: str, payload: Dict[str, Any]) -> None:
         _STATS["errors"] += 1
         return
     _STATS["stores"] += 1
+    _maybe_corrupt(directory / f"{key}.json")
+
+
+def _maybe_corrupt(path: Path) -> None:
+    """Injected cache fault: garble a just-stored artifact.
+
+    Exercises the retry-with-quarantine path end to end — the next
+    :func:`load` of this key must quarantine the entry and report a
+    miss, never crash.  One ``None`` check when no fault plan is active.
+    """
+    from ..reliability.injector import active_injector
+
+    inj = active_injector()
+    if inj is None or not inj.should_corrupt_cache():
+        return
+    try:
+        with open(path, "r+b") as fh:
+            fh.seek(0)
+            fh.write(b"\x00CORRUPT")
+    except OSError:
+        pass
 
 
 def model_content_key(config: Any, pairs: Any,
@@ -357,7 +428,9 @@ def load_arena(key: str) -> Optional[Any]:
         _STATS["misses"] += 1
         return None
     except Exception:
+        # Corrupt program artifact: quarantine + re-lower, never crash.
         _STATS["errors"] += 1
+        _quarantine(path)
         return None
     _STATS["arena_hits"] += 1
     return arena

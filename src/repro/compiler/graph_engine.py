@@ -151,19 +151,24 @@ class GraphEngine:
         """
         key = cache.content_key(self.config, work, a_bytes_scale,
                                 weight_density)
-        cached = self._cache.get(key)
-        if cached is not None:
-            cache.note_memory_hit()
-            return self._relabel(cached, work, name)
-        payload = cache.load(key)
-        if payload is not None:
-            try:
-                layer = self._from_payload(payload, work, name)
-            except (KeyError, TypeError):
-                payload = None  # incomplete entry: recompile below
-            else:
-                self._cache[key] = layer
-                return layer
+        # Active stall/sync fault campaigns suspend every stats tier:
+        # cached clean schedules would mask the injected faults, and
+        # faulted schedules must never be served to clean runs.
+        stats_cached = not cache.timing_stats_bypassed()
+        if stats_cached:
+            cached = self._cache.get(key)
+            if cached is not None:
+                cache.note_memory_hit()
+                return self._relabel(cached, work, name)
+            payload = cache.load(key)
+            if payload is not None:
+                try:
+                    layer = self._from_payload(payload, work, name)
+                except (KeyError, TypeError):
+                    pass  # incomplete entry: recompile below
+                else:
+                    self._cache[key] = layer
+                    return layer
         program = None
         if cache.program_cache_enabled():
             arena = cache.load_arena(key)
@@ -192,8 +197,10 @@ class GraphEngine:
             gm_write_bytes=summary.gm_write_bytes,
             instr_count=len(program),
         )
-        self._cache[key] = layer
-        cache.store(key, {f: getattr(layer, f) for f in _PAYLOAD_FIELDS})
+        if stats_cached:
+            self._cache[key] = layer
+            cache.store(key, {f: getattr(layer, f)
+                              for f in _PAYLOAD_FIELDS})
         return layer
 
     @staticmethod
@@ -236,27 +243,34 @@ class GraphEngine:
         scales = _im2col_scales(graph)
         key = cache.model_content_key(self.config, pairs, scales)
 
-        cached = GraphEngine._GLOBAL_MODEL_CACHE.get(key)
-        if cached is not None:
-            cache.note_model_memory_hit()
-            layers = [self._relabel(layer, work, group)
-                      for layer, (group, work) in zip(cached, pairs)]
-            return CompiledModel(name=graph.name, config=self.config,
-                                 layers=layers)
-
-        payload = cache.load_model(key)
-        if payload is not None:
-            layers = self._model_from_payload(payload, pairs)
-            if layers is not None:
-                GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
+        # See compile_workload: timing-fault campaigns bypass the stats
+        # tiers in both directions.
+        stats_cached = not cache.timing_stats_bypassed()
+        if stats_cached:
+            cached = GraphEngine._GLOBAL_MODEL_CACHE.get(key)
+            if cached is not None:
+                cache.note_model_memory_hit()
+                layers = [self._relabel(layer, work, group)
+                          for layer, (group, work) in zip(cached, pairs)]
                 return CompiledModel(name=graph.name, config=self.config,
                                      layers=layers)
+
+            payload = cache.load_model(key)
+            if payload is not None:
+                layers = self._model_from_payload(payload, pairs)
+                if layers is not None:
+                    GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
+                    return CompiledModel(name=graph.name,
+                                         config=self.config, layers=layers)
 
         layers = [
             self.compile_workload(work, name=group,
                                   a_bytes_scale=scales.get(group, 1.0))
             for group, work in pairs
         ]
+        if not stats_cached:
+            return CompiledModel(name=graph.name, config=self.config,
+                                 layers=layers)
         GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
         cache.store_model(key, {
             "layers": [

@@ -24,7 +24,6 @@ id    channel            meaning
 from __future__ import annotations
 
 import math
-import os
 from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -63,7 +62,8 @@ from ..isa.program import Program
 from ..memory.zvc import zvc_compressed_nbytes
 from .tiling import Tiling, choose_tiling
 
-__all__ = ["GemmLayout", "PostOp", "lower_gemm", "lower_vector_work", "lower_workload"]
+__all__ = ["GemmLayout", "PostOp", "lower_gemm", "lower_vector_work",
+           "lower_workload", "lowering_stats", "reset_lowering_stats"]
 
 # REPRO_LOWERING selects the emitter: "arena" (default) produces columnar
 # programs via vectorized index arithmetic; "objects" keeps the original
@@ -73,7 +73,39 @@ __all__ = ["GemmLayout", "PostOp", "lower_gemm", "lower_vector_work", "lower_wor
 
 
 def _lowering_mode() -> str:
-    return os.environ.get("REPRO_LOWERING", "arena")
+    from ..config.env import env_choice
+
+    return env_choice("REPRO_LOWERING", "arena", ("arena", "objects"))
+
+
+# Graceful degradation: if the arena emitter fails (a real validation
+# bug, or an injected arena fault), the object oracle still exists —
+# fall back to it and count the event rather than failing the compile.
+_LOWERING_STATS = {"arena_fallbacks": 0}
+
+
+def lowering_stats() -> dict:
+    """Counters for compiler-tier degradation events in this process."""
+    return dict(_LOWERING_STATS)
+
+
+def reset_lowering_stats() -> None:
+    for k in _LOWERING_STATS:
+        _LOWERING_STATS[k] = 0
+
+
+def _try_arena(thunk):
+    """Run an arena-emitter thunk; None means "use the object oracle"."""
+    from ..reliability.injector import active_injector
+
+    inj = active_injector()
+    try:
+        if inj is not None and inj.should_fail_arena():
+            raise CompileError("injected arena-lowering fault")
+        return thunk()
+    except Exception:
+        _LOWERING_STATS["arena_fallbacks"] += 1
+        return None
 
 
 @dataclass(frozen=True)
@@ -192,8 +224,11 @@ def lower_gemm(
     if (weight_density is None and not b_resident
             and _lowering_mode() != "objects"):
         from .arena_lowering import lower_gemm_arena
-        return lower_gemm_arena(m, k, n, config, dtype, out_dtype, tag,
-                                tiling, post_ops, layout, a_bytes_scale)
+        program = _try_arena(lambda: lower_gemm_arena(
+            m, k, n, config, dtype, out_dtype, tag, tiling, post_ops,
+            layout, a_bytes_scale))
+        if program is not None:
+            return program
     acc = accumulator_for(dtype)
     functional = layout is not None
 
@@ -527,7 +562,10 @@ def lower_vector_work(work: VectorWork, config: CoreConfig, tag: str = "",
     """
     if _lowering_mode() != "objects":
         from .arena_lowering import lower_vector_arena
-        return lower_vector_arena(work, config, tag, load_input, store_output)
+        program = _try_arena(lambda: lower_vector_arena(
+            work, config, tag, load_input, store_output))
+        if program is not None:
+            return program
     elem_b = work.dtype.bytes
     # Two in-flight chunks must fit UB.
     chunk_elems = max(1, int(config.ub_bytes / (2 * elem_b)))
@@ -581,8 +619,11 @@ def lower_workload(work: OpWorkload, config: CoreConfig,
     if _lowering_mode() != "objects" and all(
             s._arena is not None for s in subs):
         from ..isa.arena import InstructionArena
-        arena = InstructionArena.concat([s._arena for s in subs], reps)
-        return Program.from_arena(arena, name=name)
+        program = _try_arena(lambda: Program.from_arena(
+            InstructionArena.concat([s._arena for s in subs], reps),
+            name=name))
+        if program is not None:
+            return program
     instrs: List[Instruction] = []
     for sub, count in zip(subs, reps):
         for _ in range(count):

@@ -1,0 +1,93 @@
+"""One shared parser for ``REPRO_*`` environment knobs.
+
+Every knob that used to hand-roll its own ``os.environ.get`` +
+``int(...)`` now routes through these helpers, so a typo'd value fails
+the same way everywhere: a :class:`~repro.errors.ConfigError` that names
+the variable, echoes the offending value, and lists what is accepted —
+instead of a bare ``ValueError`` from ``int()`` or a silent fallback to
+the default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["env_choice", "env_int", "env_float"]
+
+
+def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
+    """The value of ``name``, validated against ``choices``.
+
+    Unset or empty means ``default``.  Anything else must be one of
+    ``choices`` (exact match after stripping whitespace).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip()
+    if value not in choices:
+        raise ConfigError(
+            f"{name}={raw!r} is not a valid value; accepted: "
+            + ", ".join(repr(c) for c in choices)
+        )
+    return value
+
+
+def env_int(name: str, default: Optional[int] = None,
+            minimum: Optional[int] = None,
+            special: Optional[dict] = None) -> Optional[int]:
+    """The integer value of ``name``.
+
+    Unset or empty means ``default``.  ``special`` maps exact strings
+    (case-insensitive, stripped) to values — e.g. ``{"serial": 1}``.
+    Non-integers, and integers below ``minimum``, raise
+    :class:`ConfigError` naming the variable.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip()
+    if special:
+        hit = special.get(value.lower())
+        if hit is not None:
+            return hit
+    try:
+        parsed = int(value)
+    except ValueError:
+        accepted = "an integer"
+        if minimum is not None:
+            accepted = f"an integer >= {minimum}"
+        if special:
+            accepted += " or one of " + ", ".join(
+                repr(s) for s in sorted(special))
+        raise ConfigError(
+            f"{name}={raw!r} is not a valid value; accepted: {accepted}"
+        ) from None
+    if minimum is not None and parsed < minimum:
+        raise ConfigError(
+            f"{name}={raw!r} is below the minimum of {minimum}"
+        )
+    return parsed
+
+
+def env_float(name: str, default: Optional[float] = None,
+              minimum: Optional[float] = None) -> Optional[float]:
+    """The float value of ``name`` (same semantics as :func:`env_int`)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        parsed = float(raw.strip())
+    except ValueError:
+        raise ConfigError(
+            f"{name}={raw!r} is not a valid value; accepted: a number"
+            + (f" >= {minimum}" if minimum is not None else "")
+        ) from None
+    if minimum is not None and parsed < minimum:
+        raise ConfigError(
+            f"{name}={raw!r} is below the minimum of {minimum}"
+        )
+    return parsed

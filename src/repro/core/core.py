@@ -27,7 +27,6 @@ Worker count comes from the ``workers`` argument, falling back to the
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -75,10 +74,15 @@ def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
 
     ``None`` defers to ``REPRO_FUNC_WORKERS`` (default 1).  ``"serial"``
     and ``"oracle"`` force the serial path; any integer below 2 does the
-    same.
+    same.  An invalid environment value raises
+    :class:`~repro.errors.ConfigError` naming the variable.
     """
     if workers is None:
-        workers = os.environ.get(_ENV_WORKERS, "1")
+        from ..config.env import env_int
+
+        value = env_int(_ENV_WORKERS, default=1, minimum=0,
+                        special={"serial": 1, "oracle": 1})
+        return max(1, value)
     if isinstance(workers, str):
         if workers.strip().lower() in ("serial", "oracle", ""):
             return 1

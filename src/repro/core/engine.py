@@ -35,9 +35,11 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..config.env import env_choice
 from ..errors import DeadlockError
 from ..isa.channels import pack_channel
 from ..isa.instructions import (
+    OPCODE_OF,
     CopyInstr,
     DecompressInstr,
     Img2ColInstr,
@@ -49,6 +51,8 @@ from ..isa.instructions import (
 from ..isa.memref import MemSpace
 from ..isa.pipes import Pipe
 from ..isa.program import Program
+from ..reliability.deadlock import PipeStall, build_report
+from ..reliability.injector import active_injector
 from .costs import CostModel
 from .trace import ExecutionTrace, TraceEvent, TraceSummary
 
@@ -79,7 +83,10 @@ def schedule(program: Program, costs: CostModel,
     is given.
     """
     if algorithm is None:
-        algorithm = os.environ.get("REPRO_SCHEDULER", "single-pass")
+        # Env-sourced values go through the shared parser, which raises a
+        # ConfigError naming the variable on invalid input.
+        algorithm = env_choice("REPRO_SCHEDULER", "single-pass",
+                               ("single-pass", "fast", "fixpoint", "legacy"))
     if algorithm in ("fixpoint", "legacy"):
         return schedule_fixpoint(program, costs)
     if algorithm not in ("single-pass", "fast"):
@@ -90,6 +97,26 @@ def schedule(program: Program, costs: CostModel,
 # The packed (src_pipe, dst_pipe, event_id) form shared with the
 # compiler and the arena (see the channel table in repro.isa.channels).
 _pack_channel = pack_channel
+
+_KIND_NAME = {op: cls.__name__ for cls, op in OPCODE_OF.items()}
+
+
+def _raise_deadlock(stalls: List[PipeStall], injected: bool) -> None:
+    """Watchdog exit: build the wait-for-graph report and raise it.
+
+    All three schedulers funnel their stalled-pipe facts through here, so
+    the guilty channel is named identically regardless of which drain
+    detected the deadlock.
+    """
+    report = build_report(stalls, injected=injected)
+    raise DeadlockError(report.describe(), report=report)
+
+
+def _sync_injected(inj) -> bool:
+    """Whether the active campaign has already perturbed a flag event."""
+    return inj is not None and (
+        inj.counters["sync_dropped"] or inj.counters["sync_duplicated"]
+        or inj.counters["sync_reordered"])
 
 
 def _drain(instrs: List[Instruction], costs: CostModel
@@ -137,6 +164,14 @@ def _drain(instrs: List[Instruction], costs: CostModel
         set_chan[i] = sc
         queues[p].append(i)
 
+    # RAS hooks: both are no-ops (one None check) without an active plan.
+    inj = active_injector()
+    if inj is not None and inj.has_stall_faults():
+        cost_of = inj.scale_costs(
+            np.asarray(cost_of, np.int64),
+            np.asarray([int(p) for p in pipe_of], np.int8)).tolist()
+    sync_faults = inj is not None and inj.has_sync_faults()
+
     cursors = [0] * _N_PIPES
     pipe_time = [0] * _N_PIPES
     # Completed set_flag times waiting to be consumed, FIFO per channel.
@@ -170,10 +205,20 @@ def _drain(instrs: List[Instruction], costs: CostModel
             end = start + cost_of[index]
             channel = set_chan[index]
             if channel:
-                flags.setdefault(channel, deque()).append(end)
-                woken = waiters.pop(channel, None)
-                if woken is not None:
-                    runnable.append(woken)
+                action = inj.sync_action(channel - 1) if sync_faults else None
+                if action == "drop":
+                    pass  # the flag write is lost: consumer keeps stalling
+                else:
+                    pending_sets = flags.setdefault(channel, deque())
+                    if action == "reorder":
+                        pending_sets.appendleft(end)
+                    else:
+                        pending_sets.append(end)
+                        if action == "dup":
+                            pending_sets.append(end)
+                    woken = waiters.pop(channel, None)
+                    if woken is not None:
+                        runnable.append(woken)
             now = end
             starts[index] = start
             ends[index] = end
@@ -183,15 +228,30 @@ def _drain(instrs: List[Instruction], costs: CostModel
         pipe_time[pipe] = now
 
     if done < n:
-        stuck = {
-            str(Pipe(p)): f"#{queues[p][cursors[p]]} "
-                          f"{type(instrs[queues[p][cursors[p]]]).__name__}"
-            for p in range(_N_PIPES)
-            if cursors[p] < len(queues[p])
-        }
-        raise DeadlockError(
-            f"no runnable instruction; stalled pipe heads: {stuck}"
-        )
+        # Watchdog: rebuild the wait-for graph from the stalled heads and
+        # the sets still pending in the un-executed suffix of each queue.
+        pending: Dict[int, int] = {}  # packed channel -> earliest set index
+        for p in range(_N_PIPES):
+            for i in queues[p][cursors[p]:]:
+                sc = set_chan[i]
+                if sc and (sc - 1) not in pending:
+                    pending[sc - 1] = i
+        stalls = []
+        for p in range(_N_PIPES):
+            if cursors[p] < len(queues[p]):
+                i = queues[p][cursors[p]]
+                kind = type(instrs[i]).__name__
+                wc = wait_chan[i]
+                if wc:
+                    producer = pending.get(wc - 1)
+                    stalls.append(PipeStall(
+                        pipe=str(Pipe(p)), index=i, kind=kind,
+                        channel=wc - 1, producer_index=producer,
+                        never_set=producer is None))
+                else:
+                    stalls.append(PipeStall(pipe=str(Pipe(p)), index=i,
+                                            kind=kind))
+        _raise_deadlock(stalls, _sync_injected(inj))
 
     return starts, ends, pipe_of, cost_of
 
@@ -275,6 +335,20 @@ def _drain_arena(arena, costs: CostModel,
     if cost_col is None:
         cost_col = costs.cost_columns(arena)
     match_col = _match_waits(arena)
+
+    # RAS hooks (no-ops without an active plan): stall faults scale the
+    # cost column; sync faults perturb the static wait->set matching (a
+    # dropped set becomes the never-set marker its consumer stalls on).
+    inj = active_injector()
+    if inj is not None:
+        from ..isa.instructions import OP_SET
+        if inj.has_stall_faults():
+            cost_col = inj.scale_costs(cost_col, pipe_col)
+        if inj.has_sync_faults():
+            match_col = inj.perturb_matches(
+                match_col, arena.packed_channels(),
+                np.nonzero(arena.kind == OP_SET)[0])
+
     queues: List[List[tuple]] = []
     for p in range(_N_PIPES):
         rows = np.nonzero(pipe_col == p)[0]
@@ -324,15 +398,27 @@ def _drain_arena(arena, costs: CostModel,
         pipe_time[pipe] = now
 
     if done < n:
-        stuck = {
-            str(Pipe(p)): f"#{queues[p][cursors[p]][0]} "
-                          f"opcode {int(arena.kind[queues[p][cursors[p]][0]])}"
-            for p in range(_N_PIPES)
-            if cursors[p] < len(queues[p])
-        }
-        raise DeadlockError(
-            f"no runnable instruction; stalled pipe heads: {stuck}"
-        )
+        # Watchdog: the static matching already names each wait's
+        # producer; -2 marks a wait whose set never exists (or whose set
+        # was dropped by an injected sync fault).
+        packed = arena.packed_channels()
+        kind_col = arena.kind
+        stalls = []
+        for p in range(_N_PIPES):
+            if cursors[p] < len(queues[p]):
+                row, _, producer = queues[p][cursors[p]]
+                op = int(kind_col[row])
+                kind = _KIND_NAME.get(op, f"opcode {op}")
+                if producer != -1:
+                    stalls.append(PipeStall(
+                        pipe=str(Pipe(p)), index=row, kind=kind,
+                        channel=int(packed[row]),
+                        producer_index=producer if producer >= 0 else None,
+                        never_set=producer < 0))
+                else:
+                    stalls.append(PipeStall(pipe=str(Pipe(p)), index=row,
+                                            kind=kind))
+        _raise_deadlock(stalls, _sync_injected(inj))
 
     # schedule_single_pass reuses ends as the trace end column.
     return starts, ends, pipe_col, cost_col
@@ -389,8 +475,9 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
     """
     if isinstance(program, Program) and program._arena is not None:
         arena = program._arena
-        cost_col = costs.cost_columns(arena)
-        _, ends, _, _ = _drain_arena(arena, costs, cost_col)
+        # The drain returns the cost column it actually used (identical to
+        # cost_columns' unless stall faults were injected).
+        _, ends, _, cost_col = _drain_arena(arena, costs)
         # int64 sums are exact through float64 weights (values < 2^53).
         busy = np.bincount(arena.pipe, weights=cost_col,
                            minlength=_N_PIPES).astype(np.int64)
@@ -479,14 +566,33 @@ def schedule_fixpoint(program: Program, costs: CostModel) -> ExecutionTrace:
                 remaining -= 1
                 progress = True
         if not progress:
-            stuck = {
-                str(pipe): f"#{queue[0][0]} {type(queue[0][1]).__name__}"
-                for pipe, queue in queues.items()
-                if queue
-            }
-            raise DeadlockError(
-                f"no runnable instruction; stalled pipe heads: {stuck}"
-            )
+            # Watchdog: same wait-for-graph diagnosis as the fast drains.
+            pending: Dict[int, int] = {}
+            for queue in queues.values():
+                for i, instr in queue:
+                    if isinstance(instr, SetFlag):
+                        ch = _pack_channel(instr.src_pipe, instr.dst_pipe,
+                                           instr.event_id)
+                        if ch not in pending or i < pending[ch]:
+                            pending[ch] = i
+            stalls = []
+            for pipe, queue in queues.items():
+                if not queue:
+                    continue
+                i, instr = queue[0]
+                kind = type(instr).__name__
+                if isinstance(instr, WaitFlag):
+                    ch = _pack_channel(instr.src_pipe, instr.dst_pipe,
+                                       instr.event_id)
+                    producer = pending.get(ch)
+                    stalls.append(PipeStall(
+                        pipe=str(pipe), index=i, kind=kind, channel=ch,
+                        producer_index=producer,
+                        never_set=producer is None))
+                else:
+                    stalls.append(PipeStall(pipe=str(pipe), index=i,
+                                            kind=kind))
+            _raise_deadlock(stalls, _sync_injected(active_injector()))
 
     events.sort(key=lambda e: (e.start, e.end, e.index))
     return ExecutionTrace(events=events)

@@ -29,12 +29,37 @@ class AllocationError(MemoryError_):
     """A buffer allocator ran out of space or was misused."""
 
 
+class EccError(MemoryError_):
+    """A scratchpad read hit an uncorrectable (multi-bit) memory error.
+
+    SECDED corrects single-bit flips transparently; double-bit flips are
+    detected and surface here with the guilty scratchpad named, so the
+    runtime can retry or fail the kernel instead of computing on garbage.
+    """
+
+    def __init__(self, message: str, pad: str = "", bits: int = 0) -> None:
+        super().__init__(message)
+        self.pad = pad
+        self.bits = bits
+
+
 class SimulationError(ReproError):
     """The event engine reached an inconsistent state (e.g. deadlock)."""
 
 
 class DeadlockError(SimulationError):
-    """Cross-pipe synchronization can never be satisfied."""
+    """Cross-pipe synchronization can never be satisfied.
+
+    ``report`` carries the structured
+    :class:`~repro.reliability.deadlock.DeadlockReport` (wait-for graph
+    over flag channels, the cycle or never-set channel, and the
+    emitting/consuming instruction indices) when the raising scheduler
+    built one.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class GraphError(ReproError):

@@ -13,6 +13,8 @@ import numpy as np
 from ..dtypes import INT4
 from ..errors import MemoryError_
 from ..isa.memref import Region
+from ..reliability.ecc import apply_memory_fault
+from ..reliability.injector import active_injector
 
 __all__ = ["Scratchpad", "pack_int4", "unpack_int4"]
 
@@ -63,6 +65,21 @@ class Scratchpad:
                 f"capacity {self.capacity}"
             )
 
+    def _maybe_fault(self, values: np.ndarray) -> np.ndarray:
+        """RAS hook: run this read's copy through the SECDED ECC model.
+
+        One ``None`` check when no fault plan is active.  Faults only
+        ever perturb the returned copy — the backing store stays clean,
+        exactly as a hardware scrub would leave it.
+        """
+        inj = active_injector()
+        if inj is None:
+            return values
+        fault = inj.memory_fault(self.name)
+        if fault is None:
+            return values
+        return apply_memory_fault(inj, fault, self.name, values)
+
     def read(self, region: Region) -> np.ndarray:
         """Return a *copy* of the region's contents, shaped and typed."""
         self._check(region)
@@ -74,13 +91,15 @@ class Scratchpad:
                 + np.arange(region.row_bytes)[None, :]
             )
             raw = self._data[idx].reshape(-1)
-            return raw.view(region.dtype.np_dtype).reshape(region.shape).copy()
+            values = raw.view(region.dtype.np_dtype).reshape(
+                region.shape).copy()
+            return self._maybe_fault(values)
         raw = self._data[region.offset : region.end]
         if region.dtype is INT4:
             values = unpack_int4(raw, region.elems)
         else:
             values = raw.view(region.dtype.np_dtype)[: region.elems].copy()
-        return values.reshape(region.shape)
+        return self._maybe_fault(values.reshape(region.shape))
 
     def write(self, region: Region, values: np.ndarray) -> None:
         """Store ``values`` (shape must match) into the region."""
@@ -113,7 +132,7 @@ class Scratchpad:
     def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
         if offset < 0 or offset + nbytes > self.capacity:
             raise MemoryError_(f"{self.name}: raw read out of bounds")
-        return self._data[offset : offset + nbytes].copy()
+        return self._maybe_fault(self._data[offset : offset + nbytes].copy())
 
     def write_bytes(self, offset: int, raw: np.ndarray) -> None:
         raw = np.asarray(raw, dtype=np.uint8)

@@ -1,0 +1,123 @@
+"""Checkpoint/restart modeling for cluster-scale training (Section 8).
+
+A 2048-chip synchronous data-parallel job fails whenever *any* chip or
+link fails, so the cluster-level MTBF shrinks linearly with scale:
+``M_cluster = M_chip / chips``.  Production training survives this by
+checkpointing every ``tau`` seconds of useful work (cost ``delta``) and,
+on failure, restarting from the last checkpoint (cost ``R`` plus an
+expected ``tau/2`` of lost recompute).
+
+The expected wall-clock follows the standard first-order renewal model
+(Young '74 / Daly '06):
+
+* optimal interval      ``tau* = sqrt(2 * delta * M_cluster)``
+* expected wall clock   ``T * (1 + delta/tau) / (1 - (tau/2 + R)/M)``
+
+which is what bends the paper's near-linear scaling curves realistically
+past ~1k chips: compute per chip keeps shrinking, but the failure rate
+keeps growing, so the checkpoint overhead fraction rises with scale.
+When the denominator goes non-positive the cluster fails faster than it
+can recover — the run never finishes, reported as ``inf`` rather than an
+exception so sweeps can plot the wall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointedRun",
+    "cluster_mtbf_seconds",
+    "optimal_checkpoint_interval",
+    "expected_runtime",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a training job checkpoints and restarts."""
+
+    checkpoint_seconds: float = 30.0   # delta: cost of writing one snapshot
+    restart_seconds: float = 120.0     # R: detect + reschedule + reload
+    interval_seconds: Optional[float] = None  # None = Young/Daly optimal
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_seconds <= 0 or self.restart_seconds < 0:
+            raise ConfigError(
+                "checkpoint_seconds must be > 0 and restart_seconds >= 0")
+        if self.interval_seconds is not None and self.interval_seconds <= 0:
+            raise ConfigError("interval_seconds must be positive when set")
+
+
+@dataclass(frozen=True)
+class CheckpointedRun:
+    """Expected cost of one failure-aware run."""
+
+    compute_seconds: float       # failure-free useful work
+    effective_seconds: float     # expected wall clock with failures (inf ok)
+    interval_seconds: float      # checkpoint interval actually used
+    cluster_mtbf_seconds: float
+    expected_failures: float     # over the effective wall clock
+    checkpoint_overhead_seconds: float  # time spent writing snapshots
+
+    @property
+    def overhead_factor(self) -> float:
+        """effective / failure-free (1.0 = no robustness cost)."""
+        if math.isinf(self.effective_seconds):
+            return math.inf
+        return self.effective_seconds / self.compute_seconds
+
+
+def cluster_mtbf_seconds(mtbf_hours_per_chip: float, chips: int) -> float:
+    """Cluster-level MTBF: any one of ``chips`` failing fails the step."""
+    if mtbf_hours_per_chip <= 0 or chips <= 0:
+        raise ConfigError("mtbf_hours_per_chip and chips must be positive")
+    return mtbf_hours_per_chip * 3600.0 / chips
+
+
+def optimal_checkpoint_interval(checkpoint_seconds: float,
+                                mtbf_seconds: float) -> float:
+    """Young's first-order optimum: ``sqrt(2 * delta * M)``."""
+    return math.sqrt(2.0 * checkpoint_seconds * mtbf_seconds)
+
+
+def expected_runtime(compute_seconds: float, mtbf_hours_per_chip: float,
+                     chips: int,
+                     policy: Optional[CheckpointPolicy] = None
+                     ) -> CheckpointedRun:
+    """Expected wall clock of ``compute_seconds`` of work with failures."""
+    policy = policy or CheckpointPolicy()
+    if compute_seconds < 0:
+        raise ConfigError("compute_seconds must be non-negative")
+    mtbf = cluster_mtbf_seconds(mtbf_hours_per_chip, chips)
+    tau = policy.interval_seconds or optimal_checkpoint_interval(
+        policy.checkpoint_seconds, mtbf)
+    # Never checkpoint more than the job itself runs.
+    tau = min(tau, compute_seconds) if compute_seconds > 0 else tau
+    delta, restart = policy.checkpoint_seconds, policy.restart_seconds
+
+    if compute_seconds == 0:
+        return CheckpointedRun(0.0, 0.0, tau, mtbf, 0.0, 0.0)
+
+    # Renewal model: wall = T(1 + delta/tau) + failures * (tau/2 + R),
+    # failures = wall / M  =>  wall = T(1 + delta/tau) / (1 - (tau/2+R)/M).
+    base = compute_seconds * (1.0 + delta / tau)
+    loss_per_failure = tau / 2.0 + restart
+    denom = 1.0 - loss_per_failure / mtbf
+    if denom <= 0:
+        return CheckpointedRun(compute_seconds, math.inf, tau, mtbf,
+                               math.inf, compute_seconds * delta / tau)
+    wall = base / denom
+    return CheckpointedRun(
+        compute_seconds=compute_seconds,
+        effective_seconds=wall,
+        interval_seconds=tau,
+        cluster_mtbf_seconds=mtbf,
+        expected_failures=wall / mtbf,
+        checkpoint_overhead_seconds=compute_seconds * delta / tau,
+    )

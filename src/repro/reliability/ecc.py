@@ -1,0 +1,62 @@
+"""SECDED ECC model for the software-managed scratchpads.
+
+Real DaVinci scratchpads (L0A/L0B/L0C, L1, UB) carry SECDED protection:
+per 64-bit word, 8 check bits give single-error-correct /
+double-error-detect.  The reproduction does not simulate the Hamming
+syndrome arithmetic bit-for-bit — what matters architecturally is the
+*outcome* contract, which this module models exactly:
+
+* a **single-bit** flip is corrected in-line: the read returns the
+  original data, and the correction is counted (``ecc_corrected``);
+* a **double-bit** flip is detected but uncorrectable: the read raises a
+  structured :class:`~repro.errors.EccError` naming the scratchpad
+  (``ecc_detected``) — never silently wrong data;
+* with ECC modeled *off* (``ecc=0`` in the fault spec), the flip lands
+  in the returned bytes (``mem_corrupted``) — the unprotected-buffer
+  baseline that shows why the paper's parts ship with ECC.
+
+The hook lives in :meth:`repro.memory.buffer.Scratchpad.read` /
+``read_bytes``: faults perturb the *returned copy*, never the backing
+store, so a corrected or detected fault leaves the scratchpad state
+exactly as an ECC scrub would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EccError
+from .faults import MemBitFault
+from .injector import FaultInjector
+
+__all__ = ["apply_memory_fault"]
+
+
+def apply_memory_fault(injector: FaultInjector, fault: MemBitFault,
+                       pad_name: str, data: np.ndarray) -> np.ndarray:
+    """Resolve one injected bit-flip event against the SECDED model.
+
+    ``data`` is the freshly read copy; returns the (possibly corrupted)
+    array to hand to the caller.  Raises :class:`EccError` for
+    uncorrectable double-bit flips when ECC is on.
+    """
+    if fault.ecc:
+        if fault.bits == 1:
+            injector.counters["ecc_corrected"] += 1
+            return data  # corrected in-line: caller sees clean data
+        injector.counters["ecc_detected"] += 1
+        raise EccError(
+            f"{pad_name}: uncorrectable {fault.bits}-bit memory error "
+            f"(SECDED detected, cannot correct)",
+            pad=pad_name, bits=fault.bits,
+        )
+    # ECC off: the flip really lands in the returned bytes.
+    flat = np.ascontiguousarray(data)
+    view = flat.reshape(-1).view(np.uint8)
+    if view.size:
+        for _ in range(fault.bits):
+            byte = int(injector.rng.integers(view.size))
+            bit = int(injector.rng.integers(8))
+            view[byte] ^= np.uint8(1 << bit)
+    injector.counters["mem_corrupted"] += 1
+    return flat

@@ -39,9 +39,11 @@ class RunReport:
     offloaded_nodes: List[str] = field(default_factory=list)
     host_assisted_nodes: List[str] = field(default_factory=list)
 
-    @property
-    def seconds_at(self) -> float:
-        raise AttributeError("use device.elapsed_seconds")
+    def seconds_at(self, clock_ghz: float) -> float:
+        """Wall-clock seconds of the device cycles at ``clock_ghz``."""
+        if clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+        return self.device_cycles / (clock_ghz * 1e9)
 
 
 class ModelRunner:

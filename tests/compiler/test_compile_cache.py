@@ -249,10 +249,21 @@ class TestLruEviction:
         assert len(lru) == 3
         assert cache.stats()["evictions"] == 8
 
-    def test_invalid_cap_means_unbounded(self, cache_dir, monkeypatch):
-        for bad in ("zero", "-4", "0", ""):
-            monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", bad)
+    def test_zero_or_empty_cap_means_unbounded(self, cache_dir, monkeypatch):
+        for unbounded in ("0", "", "  "):
+            monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", unbounded)
             assert cache.memory_max_entries() is None
+
+    def test_invalid_cap_raises_config_error(self, cache_dir, monkeypatch):
+        from repro.errors import ConfigError
+
+        for bad in ("zero", "-4", "3.5"):
+            monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", bad)
+            with pytest.raises(ConfigError, match="REPRO_CACHE_MAX_ENTRIES"):
+                cache.memory_max_entries()
+        # The cache_dir fixture's teardown repopulates the global model
+        # cache, which consults this variable — leave it valid.
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES")
 
     def test_compile_workloads_respect_cap(self, cache_dir, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", "0")  # memory tier only

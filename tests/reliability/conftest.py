@@ -1,0 +1,12 @@
+import pytest
+
+from repro.reliability import clear_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    """Every test starts and ends with fault injection fully off."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    clear_plan()
+    yield
+    clear_plan()

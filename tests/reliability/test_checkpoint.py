@@ -1,0 +1,87 @@
+"""Checkpoint/restart renewal model and the failure-aware trainer."""
+
+import math
+
+import pytest
+
+from repro.cluster import DataParallelTrainer, FaultTolerantTimeToTrain
+from repro.errors import ConfigError
+from repro.reliability import (
+    CheckpointPolicy,
+    cluster_mtbf_seconds,
+    expected_runtime,
+    optimal_checkpoint_interval,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestRenewalModel:
+    def test_cluster_mtbf_shrinks_linearly(self):
+        assert cluster_mtbf_seconds(1000, 1) == 1000 * 3600
+        assert cluster_mtbf_seconds(1000, 2000) == 1000 * 3600 / 2000
+
+    def test_young_interval_formula(self):
+        assert optimal_checkpoint_interval(30.0, 7200.0) == pytest.approx(
+            math.sqrt(2 * 30.0 * 7200.0))
+
+    def test_no_failures_limit(self):
+        """Astronomical MTBF: only the checkpoint-write cost remains.
+
+        The interval is capped at the job length, so the floor is one
+        snapshot per run: T * (1 + delta/T) = T + delta.
+        """
+        run = expected_runtime(1000.0, mtbf_hours_per_chip=1e12, chips=1)
+        assert run.interval_seconds == 1000.0
+        assert run.effective_seconds == pytest.approx(1030.0, rel=1e-3)
+        assert run.expected_failures == pytest.approx(0.0, abs=1e-3)
+
+    def test_overhead_monotonic_in_chips(self):
+        factors = [
+            expected_runtime(600.0, 1000.0, chips).overhead_factor
+            for chips in (64, 256, 1024, 4096)
+        ]
+        assert factors == sorted(factors)
+        assert factors[0] > 1.0
+
+    def test_unsurvivable_cluster_reports_inf_not_raise(self):
+        # MTBF so short the restart alone exceeds it.
+        policy = CheckpointPolicy(checkpoint_seconds=30.0,
+                                  restart_seconds=10000.0)
+        run = expected_runtime(600.0, mtbf_hours_per_chip=1.0, chips=2048,
+                               policy=policy)
+        assert math.isinf(run.effective_seconds)
+        assert math.isinf(run.overhead_factor)
+
+    def test_explicit_interval_respected(self):
+        policy = CheckpointPolicy(interval_seconds=50.0)
+        run = expected_runtime(600.0, 1000.0, 64, policy=policy)
+        assert run.interval_seconds == 50.0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckpointPolicy(checkpoint_seconds=0.0)
+        with pytest.raises(ConfigError):
+            CheckpointPolicy(interval_seconds=-1.0)
+        with pytest.raises(ConfigError):
+            cluster_mtbf_seconds(0.0, 64)
+
+
+class TestFaultTolerantTrainer:
+    def test_wraps_ideal_estimate(self):
+        trainer = DataParallelTrainer()
+        result = trainer.time_to_train_with_failures(
+            256, mtbf_hours_per_chip=1000.0)
+        assert isinstance(result, FaultTolerantTimeToTrain)
+        assert result.chips == 256
+        assert result.total_seconds > result.ideal.total_seconds
+        assert result.overhead_factor > 1.0
+
+    def test_scaling_curve_bends_past_1k_chips(self):
+        trainer = DataParallelTrainer()
+        curve = trainer.failure_scaling_curve(
+            (256, 1024, 2048), mtbf_hours_per_chip=1000.0)
+        overheads = [r.overhead_factor for r in curve]
+        # Failures eat a growing fraction of the shrinking compute.
+        assert overheads == sorted(overheads)
+        assert overheads[-1] > overheads[0]

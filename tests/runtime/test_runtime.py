@@ -159,3 +159,27 @@ class TestModelRunner:
         after_one = device.total_cycles
         runner.run({"frame": frame})
         assert device.total_cycles > after_one
+
+
+class TestRunReport:
+    def test_seconds_at_converts_cycles(self):
+        from repro.runtime.executor import RunReport
+
+        report = RunReport(outputs={}, device_cycles=2_000_000_000)
+        assert report.seconds_at(1.0) == pytest.approx(2.0)
+        assert report.seconds_at(2.0) == pytest.approx(1.0)
+
+    def test_seconds_at_rejects_bad_clock(self):
+        from repro.runtime.executor import RunReport
+
+        report = RunReport(outputs={}, device_cycles=1)
+        with pytest.raises(ValueError, match="clock_ghz"):
+            report.seconds_at(0)
+
+    def test_seconds_at_on_real_run(self, rng):
+        graph = build_gesture_net(batch=1, image=32)
+        report = ModelRunner(graph, Device(ASCEND)).run(
+            {"frame": rng.standard_normal((1, 32, 32, 1)).astype(np.float32)})
+        seconds = report.seconds_at(ASCEND.frequency_hz / 1e9)
+        assert seconds == pytest.approx(
+            report.device_cycles / ASCEND.frequency_hz)
