@@ -2,7 +2,8 @@
 # without an editable install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-equiv test-faults bench bench-speed bench-gate ci
+.PHONY: test test-equiv test-faults bench bench-speed bench-gate \
+	profile-smoke ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -31,7 +32,14 @@ bench-speed:
 bench-gate:
 	$(PY) benchmarks/bench_sim_speed.py --gate
 
+# Profiling smoke: the zero-to-flamechart CLI path on a small model —
+# counters + roofline report, Perfetto trace, manifest — into a temp dir.
+profile-smoke:
+	$(PY) -m repro.profiling.cli run gesture --soc ascend-lite \
+		--chrome-trace $${TMPDIR:-/tmp}/repro_profile_smoke.json \
+		--manifest $${TMPDIR:-/tmp}/repro_profile_smoke.manifest.json
+
 # CI gate: the tier-1 suite, the equivalence suites, the
-# fault-injection smoke suite, a ~10 s simulator-speed smoke run, and
-# the cold-compile perf gate.
-ci: test test-equiv test-faults bench-speed bench-gate
+# fault-injection smoke suite, a ~10 s simulator-speed smoke run, the
+# cold-compile perf gate, and the profiling CLI smoke run.
+ci: test test-equiv test-faults bench-speed bench-gate profile-smoke

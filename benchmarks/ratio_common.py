@@ -1,12 +1,21 @@
-"""Shared helper for the Figure 4-8 cube/vector ratio benchmarks."""
+"""Shared helper for the Figure 4-8 cube/vector ratio benchmarks.
+
+The figure pipeline is counters-first: compile the model, lift every
+layer into a :class:`~repro.profiling.counters.PerfCounters` registry
+(:func:`~repro.profiling.counters.model_counters`), and read the chart
+series off the registry.  Counter fields are defined to equal the
+compiled layers' busy-cycle sums, so the published numbers in
+``benchmarks/results/`` are unchanged by the profiling refactor.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.analysis import RatioPoint, ascii_chart, cube_vector_ratios
+from repro.analysis import RatioPoint, ascii_chart, ratio_points
 from repro.compiler import GraphEngine
 from repro.graph import Graph
+from repro.profiling import model_counters
 
 
 def ratio_figure(graph: Graph, engine: GraphEngine, title: str = "",
@@ -14,9 +23,9 @@ def ratio_figure(graph: Graph, engine: GraphEngine, title: str = "",
                  ) -> Tuple[List[RatioPoint], str]:
     """Compute the per-layer ratio series and render it as the paper's
     line chart (one bar per layer, reference line at ratio = 1)."""
+    compiled = engine.compile_graph(graph, workloads=workloads)
     points = [
-        p for p in cube_vector_ratios(graph, engine.config,
-                                      workloads=workloads, engine=engine)
+        p for p in ratio_points(model_counters(compiled))
         if p.layer not in skip_layers
     ]
     chart = ascii_chart([(p.layer, p.ratio) for p in points], width=46,

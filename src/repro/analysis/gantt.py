@@ -7,7 +7,16 @@ kernels.
 
 Binning is columnar: intervals are clipped and painted per pipe with
 difference-array coverage over the trace's numpy columns, so rendering a
-million-event trace never materializes an event object.
+million-event trace never materializes an event object.  Column edges
+are computed in exact integer arithmetic — an event ending on a bin
+boundary covers up to that boundary and no further, an event starting on
+one begins exactly there, and zero-duration events (no occupied cycles)
+paint nothing.  The float-scale version of this code could shift either
+edge by one column when ``cycle * width / span`` landed within an ulp of
+an integer, which double-painted or dropped boundary bins.
+
+The per-row busy totals come from one :class:`~repro.profiling.counters.
+PerfCounters` pass over the trace rather than per-pipe re-aggregation.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ def render_gantt(trace: ExecutionTrace, width: int = 100,
     instructions draw.  ``window`` is an optional (start, end) cycle
     range; default is the whole trace.
     """
+    from ..profiling.counters import PerfCounters
+
     total = trace.total_cycles
     if total == 0:
         return "(empty trace)"
@@ -46,18 +57,27 @@ def render_gantt(trace: ExecutionTrace, width: int = 100,
     hi = min(hi, total)
     if hi <= lo:
         raise ValueError(f"bad window [{lo}, {hi})")
-    span = hi - lo
-    scale = width / span
+    span = int(hi - lo)
+    lo = int(lo)
 
     starts = trace.starts
     ends = trace.ends
     pipes = trace.pipes
-    visible = (trace.kinds != KIND_NONE) & (ends > lo) & (starts < hi)
-    start_col = np.maximum(0, ((starts - lo) * scale).astype(np.int64))
-    end_col = np.minimum(
-        width, np.maximum(start_col + 1, ((ends - lo) * scale).astype(np.int64))
-    )
+    # Half-open [start, end) vs half-open [lo, hi): an event ending at lo
+    # or starting at hi is outside; a zero-duration event occupies no
+    # cycles and never paints.
+    visible = ((trace.kinds != KIND_NONE) & (ends > lo) & (starts < hi)
+               & (ends > starts))
+    start_clip = np.clip(starts, lo, hi) - lo
+    end_clip = np.clip(ends, lo, hi) - lo
+    # Exact integer binning over [0, span) -> [0, width): floor for the
+    # leading edge, ceiling for the trailing edge, so a boundary-aligned
+    # end never bleeds into the next column and interior events still
+    # paint at least one column.
+    start_col = start_clip * width // span
+    end_col = np.maximum(start_col + 1, -((end_clip * width) // -span))
 
+    counters = PerfCounters.from_trace(trace)
     lines = [f"cycles [{lo}, {hi})  ('{_GLYPH[Pipe.M]}'=cube, "
              f"'{_GLYPH[Pipe.V]}'=vector, '1/2/3'=MTE, 's'=scalar)"]
     for pipe in (Pipe.MTE2, Pipe.MTE1, Pipe.M, Pipe.V, Pipe.MTE3, Pipe.S):
@@ -72,6 +92,6 @@ def render_gantt(trace: ExecutionTrace, width: int = 100,
             covered = np.cumsum(diff[:width]) > 0
         body = "".join(_GLYPH[pipe] if c else " " for c in covered)
         if body.strip() or pipe is not Pipe.S:
-            busy = trace.busy_cycles(pipe)
+            busy = counters.busy(pipe)
             lines.append(f"{pipe.name:>4} |{body}| {busy:,}")
     return "\n".join(lines)

@@ -16,8 +16,9 @@ from ..compiler.graph_engine import GraphEngine
 from ..config.core_configs import CoreConfig
 from ..graph import Graph
 from ..graph.workload import OpWorkload
+from ..profiling.counters import PerfCounters, model_counters
 
-__all__ = ["BandwidthPoint", "l1_bandwidth_profile"]
+__all__ = ["BandwidthPoint", "l1_bandwidth_profile", "bandwidth_points"]
 
 
 @dataclass(frozen=True)
@@ -39,12 +40,24 @@ def l1_bandwidth_profile(
     """Per-layer L1 bandwidth demand for a model on a core design point."""
     engine = engine or GraphEngine(config)
     compiled = engine.compile_graph(graph, workloads=workloads)
+    return bandwidth_points(model_counters(compiled))
+
+
+def bandwidth_points(
+    named_counters: Sequence[Tuple[str, PerfCounters]],
+) -> List[BandwidthPoint]:
+    """Figure 9 points from any ``(layer, counters)`` series.
+
+    The bits-per-cycle properties live on the counter registry, so the
+    same numbers drive this figure, the roofline attribution, and the
+    profiling CLI.
+    """
     return [
         BandwidthPoint(
-            layer=layer.name,
-            read_bits_per_cycle=layer.l1_read_bits_per_cycle,
-            write_bits_per_cycle=layer.l1_write_bits_per_cycle,
-            cycles=layer.cycles,
+            layer=name,
+            read_bits_per_cycle=counters.l1_read_bits_per_cycle,
+            write_bits_per_cycle=counters.l1_write_bits_per_cycle,
+            cycles=counters.total_cycles,
         )
-        for layer in compiled.layers
+        for name, counters in named_counters
     ]

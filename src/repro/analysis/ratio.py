@@ -4,6 +4,11 @@ For every layer group of a model, compile it for a core design point and
 report the ratio of cube busy cycles to vector busy cycles.  Ratios above
 1 mean vector time hides under cube time — the resource-matching design
 target of Section 2.4.
+
+Points are read off :class:`~repro.profiling.counters.PerfCounters` —
+the shared registry every figure consumes — whose per-pipe fields are
+defined to equal the compiled layers' busy-cycle sums, so the published
+numbers are unchanged by the indirection.
 """
 
 from __future__ import annotations
@@ -15,8 +20,10 @@ from ..compiler.graph_engine import GraphEngine
 from ..config.core_configs import CoreConfig
 from ..graph import Graph
 from ..graph.workload import OpWorkload
+from ..isa.pipes import Pipe
+from ..profiling.counters import PerfCounters, model_counters
 
-__all__ = ["RatioPoint", "cube_vector_ratios"]
+__all__ = ["RatioPoint", "cube_vector_ratios", "ratio_points"]
 
 
 @dataclass(frozen=True)
@@ -47,12 +54,19 @@ def cube_vector_ratios(
     """
     engine = engine or GraphEngine(config)
     compiled = engine.compile_graph(graph, workloads=workloads)
+    return ratio_points(model_counters(compiled))
+
+
+def ratio_points(
+    named_counters: Sequence[Tuple[str, PerfCounters]],
+) -> List[RatioPoint]:
+    """Figure 4-8 points from any ``(layer, counters)`` series."""
     return [
         RatioPoint(
-            layer=layer.name,
-            ratio=layer.cube_vector_ratio,
-            cube_cycles=layer.cube_cycles,
-            vector_cycles=layer.vector_cycles,
+            layer=name,
+            ratio=counters.cube_vector_ratio,
+            cube_cycles=counters.busy(Pipe.M),
+            vector_cycles=counters.busy(Pipe.V),
         )
-        for layer in compiled.layers
+        for name, counters in named_counters
     ]

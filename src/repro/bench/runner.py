@@ -40,14 +40,16 @@ _R = TypeVar("_R")
 
 
 def sweep_workers(n_jobs: int) -> int:
-    """Worker count for ``n_jobs`` (``REPRO_SWEEP_WORKERS`` overrides)."""
-    env = os.environ.get(_ENV_WORKERS)
-    if env is not None:
-        try:
-            limit = int(env)
-        except ValueError:
-            limit = 1
-    else:
+    """Worker count for ``n_jobs`` (``REPRO_SWEEP_WORKERS`` overrides).
+
+    ``0`` and ``1`` both select serial execution; anything that is not an
+    integer raises :class:`~repro.errors.ConfigError` naming the variable
+    (the pre-audit parser silently degraded ``4x`` to serial).
+    """
+    from ..config.env import env_int
+
+    limit = env_int(_ENV_WORKERS, default=None, minimum=0)
+    if limit is None:
         limit = os.cpu_count() or 1
     return max(1, min(limit, n_jobs))
 

@@ -78,7 +78,9 @@ def timing_stats_bypassed() -> bool:
 
 def enabled() -> bool:
     """Whether the persistent tier is active (``REPRO_CACHE=0`` disables)."""
-    return os.environ.get(_ENV_ENABLE, "1") != "0"
+    from ..config.env import env_flag
+
+    return env_flag(_ENV_ENABLE, default=True)
 
 
 def cache_dir() -> Path:
@@ -372,7 +374,9 @@ def note_model_memory_hit() -> None:
 def program_cache_enabled() -> bool:
     """Whether lowered-program artifacts are persisted/read
     (``REPRO_PROGRAM_CACHE=1``; requires the cache itself enabled)."""
-    return enabled() and os.environ.get(_ENV_PROGRAM, "0") == "1"
+    from ..config.env import env_flag
+
+    return enabled() and env_flag(_ENV_PROGRAM, default=False)
 
 
 def store_arena(key: str, arena: Any) -> None:

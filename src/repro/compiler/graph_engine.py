@@ -24,6 +24,7 @@ from ..graph.ops import Conv2D, DepthwiseConv2D
 from ..graph.workload import OpWorkload
 from ..isa.pipes import Pipe
 from ..isa.program import Program
+from ..profiling.session import active_session
 from . import cache
 from .lowering import lower_workload
 from .stream import Block, Stream, Task
@@ -114,6 +115,19 @@ class CompiledModel:
         )
 
 
+def _observed(layer: CompiledLayer) -> CompiledLayer:
+    """Report a cache-served layer to the active profiling session.
+
+    Freshly compiled layers are observed at the scheduler
+    (``schedule_summary``); cache hits never reach it, so without this
+    hook a warm profiled run would appear to execute nothing.
+    """
+    session = active_session()
+    if session is not None:
+        session.observe_layer(layer)
+    return layer
+
+
 class GraphEngine:
     """Compiles graphs for one core design point, with a workload cache.
 
@@ -159,7 +173,7 @@ class GraphEngine:
             cached = self._cache.get(key)
             if cached is not None:
                 cache.note_memory_hit()
-                return self._relabel(cached, work, name)
+                return _observed(self._relabel(cached, work, name))
             payload = cache.load(key)
             if payload is not None:
                 try:
@@ -168,7 +182,7 @@ class GraphEngine:
                     pass  # incomplete entry: recompile below
                 else:
                     self._cache[key] = layer
-                    return layer
+                    return _observed(layer)
         program = None
         if cache.program_cache_enabled():
             arena = cache.load_arena(key)
@@ -250,7 +264,7 @@ class GraphEngine:
             cached = GraphEngine._GLOBAL_MODEL_CACHE.get(key)
             if cached is not None:
                 cache.note_model_memory_hit()
-                layers = [self._relabel(layer, work, group)
+                layers = [_observed(self._relabel(layer, work, group))
                           for layer, (group, work) in zip(cached, pairs)]
                 return CompiledModel(name=graph.name, config=self.config,
                                      layers=layers)
@@ -260,6 +274,8 @@ class GraphEngine:
                 layers = self._model_from_payload(payload, pairs)
                 if layers is not None:
                     GraphEngine._GLOBAL_MODEL_CACHE[key] = layers
+                    for layer in layers:
+                        _observed(layer)
                     return CompiledModel(name=graph.name,
                                          config=self.config, layers=layers)
 

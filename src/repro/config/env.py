@@ -6,16 +6,27 @@ the same way everywhere: a :class:`~repro.errors.ConfigError` that names
 the variable, echoes the offending value, and lists what is accepted —
 instead of a bare ``ValueError`` from ``int()`` or a silent fallback to
 the default.
+
+Numeric parsing is *strict*: exactly one decimal integer (or float), no
+trailing garbage, no ``_`` digit separators, no ``inf``/``nan``.  Python's
+own ``int()``/``float()`` accept several of those, and the pre-audit
+parsers accepted worse (``REPRO_SWEEP_WORKERS=4x`` silently fell back to
+serial); a mistyped knob must fail loudly, not quietly change behavior.
 """
 
 from __future__ import annotations
 
 import os
+import re
 from typing import Optional, Sequence
 
 from ..errors import ConfigError
 
-__all__ = ["env_choice", "env_int", "env_float"]
+__all__ = ["env_choice", "env_int", "env_float", "env_flag"]
+
+# Exactly one optionally-signed decimal integer / float, nothing else.
+_INT_RE = re.compile(r"^[+-]?[0-9]+$")
+_FLOAT_RE = re.compile(r"^[+-]?([0-9]+\.?[0-9]*|\.[0-9]+)([eE][+-]?[0-9]+)?$")
 
 
 def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
@@ -36,6 +47,16 @@ def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
     return value
 
 
+def env_flag(name: str, default: bool = False) -> bool:
+    """The boolean value of a ``0``/``1`` switch.
+
+    Unset or empty means ``default``; anything except an exact ``0`` or
+    ``1`` raises :class:`ConfigError` — boolean knobs do not guess what
+    ``yes``/``true``/``2`` were meant to be.
+    """
+    return env_choice(name, "1" if default else "0", ("0", "1")) == "1"
+
+
 def env_int(name: str, default: Optional[int] = None,
             minimum: Optional[int] = None,
             special: Optional[dict] = None) -> Optional[int]:
@@ -43,8 +64,8 @@ def env_int(name: str, default: Optional[int] = None,
 
     Unset or empty means ``default``.  ``special`` maps exact strings
     (case-insensitive, stripped) to values — e.g. ``{"serial": 1}``.
-    Non-integers, and integers below ``minimum``, raise
-    :class:`ConfigError` naming the variable.
+    Non-integers (including trailing garbage like ``4x``), and integers
+    below ``minimum``, raise :class:`ConfigError` naming the variable.
     """
     raw = os.environ.get(name)
     if raw is None or not raw.strip():
@@ -54,9 +75,7 @@ def env_int(name: str, default: Optional[int] = None,
         hit = special.get(value.lower())
         if hit is not None:
             return hit
-    try:
-        parsed = int(value)
-    except ValueError:
+    if not _INT_RE.match(value):
         accepted = "an integer"
         if minimum is not None:
             accepted = f"an integer >= {minimum}"
@@ -65,7 +84,8 @@ def env_int(name: str, default: Optional[int] = None,
                 repr(s) for s in sorted(special))
         raise ConfigError(
             f"{name}={raw!r} is not a valid value; accepted: {accepted}"
-        ) from None
+        )
+    parsed = int(value)
     if minimum is not None and parsed < minimum:
         raise ConfigError(
             f"{name}={raw!r} is below the minimum of {minimum}"
@@ -79,13 +99,13 @@ def env_float(name: str, default: Optional[float] = None,
     raw = os.environ.get(name)
     if raw is None or not raw.strip():
         return default
-    try:
-        parsed = float(raw.strip())
-    except ValueError:
+    value = raw.strip()
+    if not _FLOAT_RE.match(value):
         raise ConfigError(
             f"{name}={raw!r} is not a valid value; accepted: a number"
             + (f" >= {minimum}" if minimum is not None else "")
-        ) from None
+        )
+    parsed = float(value)
     if minimum is not None and parsed < minimum:
         raise ConfigError(
             f"{name}={raw!r} is below the minimum of {minimum}"

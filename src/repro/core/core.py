@@ -84,9 +84,18 @@ def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
                         special={"serial": 1, "oracle": 1})
         return max(1, value)
     if isinstance(workers, str):
-        if workers.strip().lower() in ("serial", "oracle", ""):
+        cleaned = workers.strip().lower()
+        if cleaned in ("serial", "oracle", ""):
             return 1
-        workers = int(workers)
+        try:
+            workers = int(cleaned)
+        except ValueError:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"workers={workers!r} is not a valid value; accepted: an "
+                "integer, 'serial', or 'oracle'"
+            ) from None
     return max(1, workers)
 
 

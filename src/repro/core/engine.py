@@ -51,6 +51,7 @@ from ..isa.instructions import (
 from ..isa.memref import MemSpace
 from ..isa.pipes import Pipe
 from ..isa.program import Program
+from ..profiling.session import active_session
 from ..reliability.deadlock import PipeStall, build_report
 from ..reliability.injector import active_injector
 from .costs import CostModel
@@ -88,10 +89,18 @@ def schedule(program: Program, costs: CostModel,
         algorithm = env_choice("REPRO_SCHEDULER", "single-pass",
                                ("single-pass", "fast", "fixpoint", "legacy"))
     if algorithm in ("fixpoint", "legacy"):
-        return schedule_fixpoint(program, costs)
-    if algorithm not in ("single-pass", "fast"):
+        trace = schedule_fixpoint(program, costs)
+    elif algorithm in ("single-pass", "fast"):
+        trace = schedule_single_pass(program, costs)
+    else:
         raise ValueError(f"unknown scheduler algorithm {algorithm!r}")
-    return schedule_single_pass(program, costs)
+    # Profiling is a pure observer: with no active session this is one
+    # None check; with one, the finished trace is read, never mutated —
+    # cycles are byte-identical either way (pinned by tests/profiling).
+    session = active_session()
+    if session is not None:
+        session.observe_trace(trace, label=program.name)
+    return trace
 
 
 # The packed (src_pipe, dst_pipe, event_id) form shared with the
@@ -491,14 +500,14 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
         gm_read = int(nb[mv & (src_sp == GM), 0].sum())
         l1_write = int(nb[mv & (dst_sp == L1), 0].sum())
         gm_write = int(nb[mv & (dst_sp == GM), 1].sum())
-        return TraceSummary(
+        return _observed_summary(TraceSummary(
             total_cycles=max(ends, default=0),
             busy_by_pipe=tuple(int(b) for b in busy),
             l1_read_bytes=l1_read,
             l1_write_bytes=l1_write,
             gm_read_bytes=gm_read,
             gm_write_bytes=gm_write,
-        )
+        ), program)
     instrs = (program.instructions if isinstance(program, Program)
               else list(program))
     _, ends, pipe_of, cost_of = _drain(instrs, costs)
@@ -520,14 +529,25 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
                 l1_write += dst.nbytes
             elif dst.space is GM:
                 gm_write += src.nbytes
-    return TraceSummary(
+    return _observed_summary(TraceSummary(
         total_cycles=max(ends, default=0),
         busy_by_pipe=tuple(busy),
         l1_read_bytes=l1_read,
         l1_write_bytes=l1_write,
         gm_read_bytes=gm_read,
         gm_write_bytes=gm_write,
-    )
+    ), program)
+
+
+def _observed_summary(summary: TraceSummary, program) -> TraceSummary:
+    """Report a fast-path summary to the active profiling session (if
+    any) — both summary drains funnel through here, so profiled compile
+    runs see the same aggregates the caller does."""
+    session = active_session()
+    if session is not None:
+        session.observe_summary(
+            summary, label=getattr(program, "name", ""))
+    return summary
 
 
 def schedule_fixpoint(program: Program, costs: CostModel) -> ExecutionTrace:

@@ -35,8 +35,10 @@ from ..isa.instructions import (
     Img2ColInstr,
     Instruction,
     ScalarInstr,
+    SetFlag,
     TransposeInstr,
     VectorInstr,
+    WaitFlag,
 )
 from ..isa.memref import MemSpace
 from ..isa.pipes import Pipe
@@ -118,52 +120,69 @@ class _EventsView(Sequence):
     """Lazy, immutable sequence of :class:`TraceEvent` over the arena.
 
     Supports ``len``/iteration/indexing/slicing/``==`` like the list it
-    replaces; events are built on access and never stored.
+    replaces; events are built on access and never stored.  Slicing —
+    including negative and stepped slices — returns another view over the
+    selected rows, so ``trace.events[a:b]`` keeps the lazy, comparable
+    sequence semantics of the full view instead of decaying to a plain
+    ``list``.
     """
 
-    __slots__ = ("_trace",)
+    __slots__ = ("_trace", "_rows")
 
-    def __init__(self, trace: "ExecutionTrace") -> None:
+    def __init__(self, trace: "ExecutionTrace",
+                 rows: Optional[np.ndarray] = None) -> None:
         self._trace = trace
+        # None = the whole trace; else the selected row ids, in order.
+        self._rows = rows
+
+    def _row_ids(self) -> np.ndarray:
+        if self._rows is None:
+            return np.arange(self._trace._n)
+        return self._rows
 
     def __len__(self) -> int:
-        return self._trace._n
+        if self._rows is None:
+            return self._trace._n
+        return len(self._rows)
 
     def __getitem__(self, i):
         t = self._trace
         if isinstance(i, slice):
-            return [t._event_at(j) for j in range(*i.indices(t._n))]
-        n = t._n
+            return _EventsView(t, self._row_ids()[i])
+        n = len(self)
         if i < 0:
             i += n
         if not 0 <= i < n:
             raise IndexError("trace event index out of range")
+        if self._rows is not None:
+            i = int(self._rows[i])
         return t._event_at(i)
 
     def __iter__(self):
         t = self._trace
-        n = t._n
         instrs = t._instrs
-        index = t._index[:n].tolist()
-        pipes = t._pipe[:n].tolist()
-        starts = t._start[:n].tolist()
-        ends = t._end[:n].tolist()
-        for i in range(n):
-            yield TraceEvent(index[i], instrs[i], Pipe(pipes[i]),
-                             starts[i], ends[i])
+        rows = self._row_ids()
+        index = t._index[rows].tolist()
+        pipes = t._pipe[rows].tolist()
+        starts = t._start[rows].tolist()
+        ends = t._end[rows].tolist()
+        for pos, i in enumerate(rows.tolist()):
+            yield TraceEvent(index[pos], instrs[i], Pipe(pipes[pos]),
+                             starts[pos], ends[pos])
 
     def __eq__(self, other) -> bool:
         if isinstance(other, _EventsView):
-            a, b = self._trace, other._trace
-            n = a._n
-            if n != b._n:
+            if len(self) != len(other):
                 return False
+            a, b = self._trace, other._trace
+            ra, rb = self._row_ids(), other._row_ids()
             return (
-                np.array_equal(a._index[:n], b._index[:n])
-                and np.array_equal(a._pipe[:n], b._pipe[:n])
-                and np.array_equal(a._start[:n], b._start[:n])
-                and np.array_equal(a._end[:n], b._end[:n])
-                and a._instrs == b._instrs
+                np.array_equal(a._index[ra], b._index[rb])
+                and np.array_equal(a._pipe[ra], b._pipe[rb])
+                and np.array_equal(a._start[ra], b._start[rb])
+                and np.array_equal(a._end[ra], b._end[rb])
+                and all(a._instrs[i] == b._instrs[j]
+                        for i, j in zip(ra.tolist(), rb.tolist()))
             )
         if isinstance(other, (list, tuple)):
             if len(other) != len(self):
@@ -185,7 +204,7 @@ class ExecutionTrace:
     __slots__ = ("_n", "_instrs", "_index", "_pipe", "_start", "_end",
                  "_tag_id", "_kind", "_src_space", "_dst_space",
                  "_src_nbytes", "_dst_nbytes", "_tag_names", "_tag_ids",
-                 "_meta_memo")
+                 "_meta_memo", "_flag_cols")
 
     _INITIAL_CAPACITY = 64
 
@@ -195,6 +214,7 @@ class ExecutionTrace:
         self._tag_names: List[str] = [""]
         self._tag_ids: Dict[str, int] = {"": 0}
         self._meta_memo: Dict[int, tuple] = {}
+        self._flag_cols: Optional[tuple] = None
         self._allocate(self._INITIAL_CAPACITY)
         if events:
             self.extend(events)
@@ -239,6 +259,7 @@ class ExecutionTrace:
         trace._tag_names = [""]
         trace._tag_ids = {"": 0}
         trace._meta_memo = {}
+        trace._flag_cols = None
         trace._index = np.asarray(index, np.int64)
         trace._pipe = np.asarray(pipe, np.int8)
         trace._start = np.asarray(start, np.int64)
@@ -323,6 +344,7 @@ class ExecutionTrace:
         self._src_nbytes[i] = rec[4]
         self._dst_nbytes[i] = rec[5]
         self._n = i + 1
+        self._flag_cols = None  # derived flag columns are stale
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
         for event in events:
@@ -486,6 +508,86 @@ class ExecutionTrace:
         return (int(self._dst_nbytes[:n][read_mask].sum()),
                 int(self._src_nbytes[:n][write_mask].sum()))
 
+    def traffic_by_tag(self) -> Dict[str, Tuple[int, int, int, int]]:
+        """Per-tag ``(l1_read, l1_write, gm_read, gm_write)`` bytes.
+
+        A *complete partition* of the summary totals: every event lands
+        in exactly one bucket, with untagged events under the ``""`` key,
+        so summing any column over the returned dict equals the matching
+        :meth:`summary` total.  (``tags()`` deliberately excludes the
+        empty tag; per-tag consumers that dropped the untagged bucket
+        used to under-report traffic against the single-pass summary —
+        the equivalence is now pinned by tests.)
+
+        Buckets are keyed by tag name in first-appearance order; only
+        tags that actually carry events appear.
+        """
+        n = self._n
+        if n == 0:
+            return {}
+        tag_ids = self._tag_id[:n]
+        n_tags = len(self._tag_names)
+        sums = np.zeros((4, n_tags), np.int64)
+        l1 = int(MemSpace.L1)
+        gm = int(MemSpace.GM)
+        src_space = self._src_space[:n]
+        dst_space = self._dst_space[:n]
+        for row, (space_col, byte_col) in enumerate((
+                (src_space == l1, self._src_nbytes),   # read from L1
+                (dst_space == l1, self._dst_nbytes),   # written to L1
+                (src_space == gm, self._dst_nbytes),   # read from GM
+                (dst_space == gm, self._src_nbytes))):  # written to GM
+            mask = space_col
+            np.add.at(sums[row], tag_ids[mask], byte_col[:n][mask])
+        distinct, first = np.unique(tag_ids, return_index=True)
+        names = self._tag_names
+        return {
+            names[tag_id]: tuple(int(sums[row, tag_id]) for row in range(4))
+            for tag_id in distinct[np.argsort(first)]
+        }
+
+    # -- flag-channel columns ---------------------------------------------------
+
+    def flag_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(wait mask, set mask, packed channel) columns, derived lazily.
+
+        The arena does not store flag metadata per event; this derives it
+        once from the instruction list (memoized per distinct instruction
+        object, so compiled tile loops pay one probe per occurrence) and
+        caches the result.  ``packed`` holds the
+        :func:`~repro.isa.channels.pack_channel` id for flag events and
+        -1 elsewhere.  Consumed by the profiling layer (wait histograms,
+        Perfetto flow events); appending events invalidates the cache.
+        """
+        if self._flag_cols is not None:
+            return self._flag_cols
+        from ..isa.channels import pack_channel
+
+        n = self._n
+        wait = np.zeros(n, bool)
+        set_ = np.zeros(n, bool)
+        packed = np.full(n, -1, np.int64)
+        memo: Dict[int, tuple] = {}
+        memo_get = memo.get
+        for i, instr in enumerate(self._instrs):
+            key = id(instr)
+            rec = memo_get(key)
+            if rec is None:
+                cls = type(instr)
+                if cls is WaitFlag:
+                    rec = (True, False, pack_channel(
+                        instr.src_pipe, instr.dst_pipe, instr.event_id))
+                elif cls is SetFlag:
+                    rec = (False, True, pack_channel(
+                        instr.src_pipe, instr.dst_pipe, instr.event_id))
+                else:
+                    rec = (False, False, -1)
+                memo[key] = rec
+            if rec[2] >= 0:
+                wait[i], set_[i], packed[i] = rec
+        self._flag_cols = (wait, set_, packed)
+        return self._flag_cols
+
     def per_tag_busy(self, pipe: Pipe) -> Dict[str, int]:
         n = self._n
         if n == 0:
@@ -512,6 +614,11 @@ class ExecutionTrace:
     # benchmarks).  Treat them as read-only: they alias trace storage.
 
     @property
+    def indices(self) -> np.ndarray:
+        """Program (issue) order per event."""
+        return self._index[:self._n]
+
+    @property
     def starts(self) -> np.ndarray:
         return self._start[:self._n]
 
@@ -527,6 +634,36 @@ class ExecutionTrace:
     def kinds(self) -> np.ndarray:
         """Instruction-class codes (the module-level ``KIND_*`` constants)."""
         return self._kind[:self._n]
+
+    @property
+    def src_spaces(self) -> np.ndarray:
+        """Source :class:`~repro.isa.memref.MemSpace` per event (-1: no move)."""
+        return self._src_space[:self._n]
+
+    @property
+    def dst_spaces(self) -> np.ndarray:
+        """Destination memory space per event (-1 for non-moves)."""
+        return self._dst_space[:self._n]
+
+    @property
+    def src_bytes(self) -> np.ndarray:
+        """Bytes read from the source space per event (0 for non-moves)."""
+        return self._src_nbytes[:self._n]
+
+    @property
+    def dst_bytes(self) -> np.ndarray:
+        """Bytes written to the destination space per event (0 for non-moves)."""
+        return self._dst_nbytes[:self._n]
+
+    @property
+    def tag_ids(self) -> np.ndarray:
+        """Interned tag id per event (see :attr:`tag_table`)."""
+        return self._tag_id[:self._n]
+
+    @property
+    def tag_table(self) -> Tuple[str, ...]:
+        """Interned tag strings indexed by :attr:`tag_ids` (id 0 is ``""``)."""
+        return tuple(self._tag_names)
 
     # -- functional-execution support -----------------------------------------
 

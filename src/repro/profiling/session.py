@@ -1,0 +1,129 @@
+"""Profiling sessions: where the engine hooks deposit observations.
+
+The scheduler/runtime hooks are one branch when profiling is off::
+
+    session = active_session()
+    if session is not None:
+        session.observe_trace(trace)
+
+``active_session()`` returns ``None`` unless a session was installed —
+either explicitly (:func:`profile` context manager) or globally via
+``REPRO_PROFILE=1``.  Observation is strictly read-only: hooks hand the
+session already-final traces/summaries, so profiling on or off cannot
+change a single scheduled cycle (pinned by the equivalence suite).
+
+Sessions nest: :func:`profile` pushes a fresh session and, on exit,
+folds its totals into the session it shadowed.  That is how
+``ModelRunner`` attributes counters to one run while a surrounding
+global session still sees everything.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .counters import PerfCounters
+
+__all__ = ["ProfileSession", "active_session", "profile"]
+
+_ENV_PROFILE = "REPRO_PROFILE"
+
+# Stack of explicitly installed sessions (innermost last) plus the
+# lazily created env-var session.  Module-global, like the compile
+# cache: profiling is a process-wide observation facility.
+_STACK: List["ProfileSession"] = []
+_ENV_SESSION: Optional["ProfileSession"] = None
+# Parse the env switch once per distinct value (it is read on every
+# schedule call; a repeated strict parse would be pure overhead).
+_ENV_MEMO: Optional[Tuple[Optional[str], bool]] = None
+
+
+class ProfileSession:
+    """One profiling scope: accumulated counters plus per-label detail."""
+
+    def __init__(self) -> None:
+        self.counters = PerfCounters()
+        # (label, counters) per observed trace/summary/layer, in order.
+        self.samples: List[Tuple[str, PerfCounters]] = []
+        self.notes: Dict[str, object] = {}
+
+    # -- observation hooks ----------------------------------------------------
+
+    def observe_trace(self, trace, label: str = "") -> PerfCounters:
+        counters = PerfCounters.from_trace(trace)
+        self._absorb(label, counters)
+        return counters
+
+    def observe_summary(self, summary, label: str = "") -> PerfCounters:
+        counters = PerfCounters.from_summary(summary)
+        self._absorb(label, counters)
+        return counters
+
+    def observe_layer(self, layer) -> PerfCounters:
+        counters = PerfCounters.from_layer(layer)
+        self._absorb(layer.name, counters)
+        return counters
+
+    def _absorb(self, label: str, counters: PerfCounters) -> None:
+        self.samples.append((label, counters))
+        self.counters.add(counters)
+
+    def note(self, key: str, value) -> None:
+        """Attach free-form context (model name, soc, chip count...)."""
+        self.notes[key] = value
+
+    # -- reporting ------------------------------------------------------------
+
+    def finalize(self) -> PerfCounters:
+        """Counters with environment snapshots attached."""
+        return self.counters.attach_environment()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ProfileSession: {len(self.samples)} samples, "
+                f"{self.counters.total_cycles:,} cycles>")
+
+
+def _env_enabled() -> bool:
+    global _ENV_MEMO
+    raw = os.environ.get(_ENV_PROFILE)
+    if _ENV_MEMO is not None and _ENV_MEMO[0] == raw:
+        return _ENV_MEMO[1]
+    from ..config.env import env_flag
+
+    enabled = env_flag(_ENV_PROFILE, default=False)
+    _ENV_MEMO = (raw, enabled)
+    return enabled
+
+
+def active_session() -> Optional[ProfileSession]:
+    """The innermost installed session, or the ``REPRO_PROFILE=1``
+    process session, or ``None`` (profiling off — the common case)."""
+    if _STACK:
+        return _STACK[-1]
+    if _env_enabled():
+        global _ENV_SESSION
+        if _ENV_SESSION is None:
+            _ENV_SESSION = ProfileSession()
+        return _ENV_SESSION
+    return None
+
+
+@contextmanager
+def profile() -> Iterator[ProfileSession]:
+    """Install a fresh session for the ``with`` body.
+
+    On exit the session's totals fold into whatever session it shadowed
+    (if any), so scoped attribution never hides work from an enclosing
+    profile.
+    """
+    outer = active_session()
+    session = ProfileSession()
+    _STACK.append(session)
+    try:
+        yield session
+    finally:
+        _STACK.pop()
+        if outer is not None and session.samples:
+            outer._absorb("(scoped)", session.counters)

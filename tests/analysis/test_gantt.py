@@ -5,8 +5,13 @@ import pytest
 from repro.analysis import render_gantt
 from repro.compiler import lower_gemm
 from repro.config import ASCEND_MAX
-from repro.core import CostModel, ExecutionTrace
-from repro.core.engine import schedule
+from repro.core import CostModel, ExecutionTrace, TraceEvent
+from repro.core.engine import (
+    schedule,
+    schedule_fixpoint,
+    schedule_single_pass,
+)
+from repro.isa import Pipe, Program, ScalarInstr
 
 
 @pytest.fixture(scope="module")
@@ -41,3 +46,72 @@ class TestGantt:
         widths = {l.index("|", 6) - l.index("|") for l in body_lines}
         # every pipe row has the same 50-column body
         assert len({l.count("|") for l in body_lines}) == 1
+
+
+def _manual_trace(events):
+    """Trace from ``(pipe, start, end)`` triples with scalar payloads."""
+    return ExecutionTrace([
+        TraceEvent(i, ScalarInstr(op="nop", cycles=max(end - start, 1)),
+                   pipe, start, end)
+        for i, (pipe, start, end) in enumerate(events)
+    ])
+
+
+def _row(art: str, pipe: Pipe) -> str:
+    for line in art.splitlines():
+        if line.strip().startswith(f"{pipe.name} |"):
+            return line.split("|")[1]
+    raise AssertionError(f"no row for {pipe.name} in:\n{art}")
+
+
+class TestGanttBinning:
+    """The satellite regression: float binning double-painted or dropped
+    boundary columns; zero-duration events painted a phantom cell."""
+
+    def test_boundary_aligned_events_do_not_bleed(self):
+        # M covers exactly the first half, V exactly the second: no
+        # column belongs to both.
+        trace = _manual_trace([(Pipe.M, 0, 50), (Pipe.V, 50, 100)])
+        art = render_gantt(trace, width=10)
+        assert _row(art, Pipe.M) == "MMMMM     "
+        assert _row(art, Pipe.V) == "     VVVVV"
+
+    def test_event_ending_on_bin_edge_stops_there(self):
+        trace = _manual_trace([(Pipe.M, 0, 10), (Pipe.V, 0, 100)])
+        art = render_gantt(trace, width=10)
+        assert _row(art, Pipe.M) == "M         "
+
+    def test_single_cycle_event_paints_one_column(self):
+        trace = _manual_trace([(Pipe.M, 50, 51), (Pipe.V, 0, 100)])
+        assert _row(render_gantt(trace, width=10), Pipe.M) == "     M    "
+
+    def test_zero_duration_event_paints_nothing(self):
+        trace = ExecutionTrace([
+            TraceEvent(0, ScalarInstr(op="nop", cycles=1), Pipe.V, 30, 30),
+            TraceEvent(1, ScalarInstr(op="nop", cycles=100), Pipe.M,
+                       0, 100),
+        ])
+        art = render_gantt(trace, width=10)
+        assert _row(art, Pipe.V).strip() == ""
+        assert _row(art, Pipe.M) == "M" * 10
+
+    def test_windowed_boundaries_stay_exact(self):
+        trace = _manual_trace([(Pipe.M, 0, 50), (Pipe.V, 50, 100)])
+        art = render_gantt(trace, width=10, window=(25, 75))
+        # Window [25, 75): M covers its first half, V its second.
+        assert _row(art, Pipe.M) == "MMMMM     "
+        assert _row(art, Pipe.V) == "     VVVVV"
+
+    def test_identical_across_all_three_schedulers(self):
+        """Object single-pass, arena single-pass and the fixpoint oracle
+        paint the same picture."""
+        costs = CostModel(ASCEND_MAX)
+        source = lower_gemm(128, 128, 128, ASCEND_MAX, tag="g")
+        as_objects = Program(list(source), name=source.name)
+        as_arena = Program.from_arena(as_objects.arena, name=source.name)
+        renders = {
+            render_gantt(schedule_single_pass(as_objects, costs), width=64),
+            render_gantt(schedule_single_pass(as_arena, costs), width=64),
+            render_gantt(schedule_fixpoint(as_objects, costs), width=64),
+        }
+        assert len(renders) == 1

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.bench import run_sweep, sweep_workers
+from repro.errors import ConfigError
 
 _WARM_STATE = {"token": 0}
 
@@ -50,8 +51,10 @@ class TestRunSweep:
     def test_env_caps_workers(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
         assert sweep_workers(100) == 3
+        # Garbage no longer degrades to serial silently — it raises.
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "not-a-number")
-        assert sweep_workers(100) == 1
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_WORKERS"):
+            sweep_workers(100)
 
     def test_workers_never_exceed_jobs(self, monkeypatch):
         monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)

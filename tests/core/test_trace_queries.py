@@ -1,12 +1,19 @@
 """ExecutionTrace query tests beyond the engine basics."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import ASCEND_MAX
 from repro.core import CostModel
 from repro.core.engine import schedule
+from repro.core.trace import _EventsView
 from repro.dtypes import FP16
 from repro.isa import CopyInstr, MemSpace, Pipe, Program, Region, ScalarInstr
+from repro.reliability import clear_plan, fault_scope, parse_fault_spec
+
+from tests.core.test_engine_equivalence import _random_flagged_program
 
 
 @pytest.fixture
@@ -57,3 +64,103 @@ class TestTraceQueries:
     def test_utilization_bounds(self, traced):
         for pipe in Pipe:
             assert 0.0 <= traced.utilization(pipe) <= 1.0
+
+
+def _assert_tag_partition(trace):
+    """traffic_by_tag is a complete partition of the summary totals."""
+    summary = trace.summary()
+    per_tag = trace.traffic_by_tag()
+    columns = tuple(
+        sum(bucket[i] for bucket in per_tag.values()) for i in range(4)
+    ) if per_tag else (0, 0, 0, 0)
+    assert columns == (summary.l1_read_bytes, summary.l1_write_bytes,
+                       summary.gm_read_bytes, summary.gm_write_bytes)
+
+
+class TestTrafficByTagPartition:
+    """The satellite regression: per-tag traffic used to drop untagged
+    events, under-reporting against the single-pass summary."""
+
+    def test_untagged_events_land_in_empty_bucket(self, traced):
+        prog = Program([
+            CopyInstr(dst=Region(MemSpace.L1, 0, (32,), FP16),
+                      src=Region(MemSpace.GM, 0, (32,), FP16), tag="load"),
+            CopyInstr(dst=Region(MemSpace.GM, 0, (16,), FP16),
+                      src=Region(MemSpace.UB, 0, (16,), FP16)),  # untagged
+        ])
+        trace = schedule(prog, CostModel(ASCEND_MAX))
+        per_tag = trace.traffic_by_tag()
+        assert "" in per_tag
+        assert per_tag[""][3] == 32  # 16 fp16 stored, untagged
+        _assert_tag_partition(trace)
+
+    def test_fixture_trace_partitions(self, traced):
+        _assert_tag_partition(traced)
+        assert set(traced.traffic_by_tag()) == {"load", "feed", "ctrl",
+                                                "store"}
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_on_random_programs(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=False)
+        _assert_tag_partition(schedule(program, CostModel(ASCEND_MAX)))
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("spec", [
+        "seed=3;sync:action=dup,p=1",
+        "seed=5;sync:action=reorder,p=0.5",
+    ])
+    def test_partition_survives_sync_faults(self, spec):
+        """Duplicated / reordered flag traffic must not break the
+        partition: flags carry no bytes, totals still reconcile."""
+        rng = np.random.default_rng(11)
+        program = _random_flagged_program(rng, 40, allow_deadlock=False)
+        try:
+            with fault_scope(parse_fault_spec(spec)):
+                trace = schedule(program, CostModel(ASCEND_MAX))
+        finally:
+            clear_plan()
+        _assert_tag_partition(trace)
+
+
+class TestEventsViewSlicing:
+    """The satellite regression: slicing events decayed to a plain list,
+    losing the lazy view semantics (and its ``==`` with other views)."""
+
+    def test_slice_returns_a_view_not_a_list(self, traced):
+        head = traced.events[:2]
+        assert isinstance(head, _EventsView)
+        assert not isinstance(head, list)
+        assert len(head) == 2
+        assert list(head) == list(traced.events)[:2]
+
+    def test_negative_and_step_slices(self, traced):
+        events = traced.events
+        reference = list(events)
+        for sl in (slice(-2, None), slice(None, None, 2),
+                   slice(None, None, -1), slice(3, 1), slice(-1, -3, -1),
+                   slice(1, None, 3)):
+            view = events[sl]
+            assert isinstance(view, _EventsView)
+            assert list(view) == reference[sl]
+
+    def test_nested_slicing_and_indexing(self, traced):
+        events = traced.events
+        nested = events[1:][::-1]
+        assert isinstance(nested, _EventsView)
+        assert list(nested) == list(events)[1:][::-1]
+        assert nested[0] == list(events)[-1]
+        assert nested[-1] == list(events)[1]
+        with pytest.raises(IndexError):
+            nested[len(nested)]
+
+    def test_empty_slice_compares_equal(self, traced):
+        assert len(traced.events[2:2]) == 0
+        assert traced.events[2:2] == traced.events[3:3]
+
+    def test_slices_compare_with_views_and_lists(self, traced):
+        events = traced.events
+        assert events[:] == events
+        assert events[:2] == list(events)[:2]
+        assert events[:2] != events[:3]

@@ -1,0 +1,22 @@
+"""Keep profiling state from leaking between tests.
+
+The session layer has process-global state (the explicit session stack,
+the ``REPRO_PROFILE`` env session and its memoized parse); every test in
+this package starts and ends with all of it clean.
+"""
+
+import pytest
+
+import repro.profiling.session as session_mod
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiling_state(monkeypatch):
+    monkeypatch.delenv(session_mod._ENV_PROFILE, raising=False)
+    session_mod._ENV_SESSION = None
+    session_mod._ENV_MEMO = None
+    assert not session_mod._STACK, "leaked profile() session from a prior test"
+    yield
+    assert not session_mod._STACK, "profile() session not popped"
+    session_mod._ENV_SESSION = None
+    session_mod._ENV_MEMO = None

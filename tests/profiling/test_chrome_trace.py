@@ -1,0 +1,132 @@
+"""Chrome ``trace_event`` exporter structure tests.
+
+The exported JSON must be loadable by Perfetto: integer timestamps,
+positive durations, per-pipe thread metadata, and ``set -> wait`` flow
+arrows matched per channel in FIFO program order.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import lower_gemm
+from repro.config import ASCEND_MAX
+from repro.core import CostModel
+from repro.core.engine import schedule
+from repro.isa import Pipe, Program, ScalarInstr, SetFlag, WaitFlag
+from repro.profiling.chrome_trace import (
+    chrome_trace,
+    trace_events,
+    write_chrome_trace,
+)
+
+_COSTS = CostModel(ASCEND_MAX)
+
+
+@pytest.fixture(scope="module")
+def gemm_trace():
+    return schedule(lower_gemm(128, 128, 128, ASCEND_MAX, tag="gemm"),
+                    _COSTS)
+
+
+def _fifo_program():
+    """Two producers on S signalling the same channel, two consumers
+    on M: flow matching must pair them first-to-first."""
+    return Program([
+        ScalarInstr(op="nop", cycles=3),
+        SetFlag(src_pipe=Pipe.S, dst_pipe=Pipe.M, event_id=0),
+        ScalarInstr(op="nop", cycles=5),
+        SetFlag(src_pipe=Pipe.S, dst_pipe=Pipe.M, event_id=0),
+        WaitFlag(src_pipe=Pipe.S, dst_pipe=Pipe.M, event_id=0),
+        WaitFlag(src_pipe=Pipe.S, dst_pipe=Pipe.M, event_id=0),
+    ])
+
+
+class TestTraceEvents:
+    def test_slices_are_integer_and_positive(self, gemm_trace):
+        events, _ = trace_events(gemm_trace)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices
+        for e in slices:
+            assert isinstance(e["ts"], int) and e["ts"] >= 0
+            assert isinstance(e["dur"], int) and e["dur"] >= 1
+            assert e["tid"] in {int(p) for p in Pipe}
+
+    def test_payload_slices_named_by_tag(self, gemm_trace):
+        events, _ = trace_events(gemm_trace, include_flags=False)
+        names = {e["name"] for e in events}
+        assert "gemm" in names
+        assert all(e["cat"] != "flag" for e in events)
+
+    def test_flow_events_pair_one_to_one(self, gemm_trace):
+        events, next_flow = trace_events(gemm_trace)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == next_flow > 0
+        assert sorted(e["id"] for e in starts) == list(range(next_flow))
+        assert sorted(e["id"] for e in finishes) == list(range(next_flow))
+        for f in finishes:
+            assert f["bp"] == "e"
+
+    def test_fifo_matching_in_program_order(self):
+        trace = schedule(_fifo_program(), _COSTS)
+        events, next_flow = trace_events(trace)
+        assert next_flow == 2
+        starts = sorted((e for e in events if e["ph"] == "s"),
+                        key=lambda e: e["id"])
+        # FIFO: the first flow id binds to the earlier producer.
+        assert starts[0]["ts"] <= starts[1]["ts"]
+        assert all(e["tid"] == int(Pipe.S) for e in starts)
+
+    def test_offsets_shift_section_and_flow_ids(self, gemm_trace):
+        base, flows = trace_events(gemm_trace)
+        shifted, _ = trace_events(gemm_trace, time_offset=1000,
+                                  flow_base=flows)
+        base_x = [e for e in base if e["ph"] == "X"]
+        shifted_x = [e for e in shifted if e["ph"] == "X"]
+        assert [e["ts"] + 1000 for e in base_x] == \
+            [e["ts"] for e in shifted_x]
+        shifted_ids = {e["id"] for e in shifted if e["ph"] == "s"}
+        assert shifted_ids == {flows + i for i in range(len(shifted_ids))}
+
+    def test_empty_trace(self):
+        from repro.core import ExecutionTrace
+
+        events, flow = trace_events(ExecutionTrace(), flow_base=7)
+        assert events == [] and flow == 7
+
+
+class TestChromeTraceDocument:
+    def test_single_trace_document(self, gemm_trace):
+        doc = chrome_trace(gemm_trace)
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "M"} <= phases
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "M (cube)" in names and "layers" in names
+
+    def test_sections_laid_end_to_end(self, gemm_trace):
+        doc = chrome_trace([("a", gemm_trace), ("b", gemm_trace)])
+        layers = [e for e in doc["traceEvents"]
+                  if e.get("cat") == "layer"]
+        assert [e["name"] for e in layers] == ["a", "b"]
+        assert layers[1]["ts"] == layers[0]["ts"] + layers[0]["dur"] \
+            == gemm_trace.total_cycles
+        # Section b's slices all start at/after the shared-clock offset.
+        b_slices = [e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e.get("cat") != "layer"
+                    and e["ts"] >= gemm_trace.total_cycles]
+        assert b_slices
+
+    def test_manifest_embeds_under_other_data(self, gemm_trace):
+        doc = chrome_trace(gemm_trace, manifest={"model": "gemm"})
+        assert doc["otherData"] == {"model": "gemm"}
+
+    def test_write_round_trips_json(self, gemm_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(path, gemm_trace,
+                                     manifest={"k": 1})
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["otherData"] == {"k": 1}

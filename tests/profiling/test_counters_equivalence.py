@@ -1,0 +1,241 @@
+"""PerfCounters is a pure view over the trace arena.
+
+Two equivalences are pinned here, both hypothesis-gated over randomized
+multi-pipe flagged programs:
+
+* every aggregate a counters registry reports equals the number the
+  trace's own masked reductions produce (``summary()``, ``moved_bytes``,
+  a plain-python stall oracle);
+* profiling changes nothing it observes — scheduling under an active
+  session yields byte-identical traces and summaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ASCEND_MAX
+from repro.core.costs import CostModel
+from repro.core.engine import schedule, schedule_summary
+from repro.isa import MemSpace, Pipe, Program, ScalarInstr
+from repro.profiling import PerfCounters, active_session, profile
+from repro.profiling.counters import KIND_NAMES
+
+from tests.core.test_engine_equivalence import _random_flagged_program
+
+_COSTS = CostModel(ASCEND_MAX)
+
+
+def _traced(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    program = _random_flagged_program(rng, n, allow_deadlock=False)
+    return program, schedule(program, _COSTS)
+
+
+class TestCountersMatchTrace:
+    """from_trace fields are defined equal to the trace's own queries."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_fields(self, seed, n):
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        summary = trace.summary()
+        assert counters.total_cycles == summary.total_cycles
+        assert counters.busy_by_pipe == list(summary.busy_by_pipe)
+        assert counters.l1_read_bytes == summary.l1_read_bytes
+        assert counters.l1_write_bytes == summary.l1_write_bytes
+        assert counters.gm_read_bytes == summary.gm_read_bytes
+        assert counters.gm_write_bytes == summary.gm_write_bytes
+        assert counters.events == len(trace)
+        assert counters.traces == 1
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_kind_mix_partitions_events(self, seed, n):
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        assert sum(counters.kind_events.values()) == len(trace)
+        assert set(counters.kind_events) <= set(KIND_NAMES.values())
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_route_matrix_matches_moved_bytes(self, seed, n):
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        for route, nbytes in counters.route_bytes.items():
+            src, dst = route.split("->")
+            assert nbytes == trace.moved_bytes(MemSpace[src], MemSpace[dst])
+        # ...and the matrix is complete: any route it omits moved nothing.
+        from_trace_total = sum(
+            trace.moved_bytes(src, dst)
+            for src in MemSpace for dst in MemSpace)
+        assert counters.moved_bytes_total == from_trace_total
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_from_summary_agrees_with_from_trace(self, seed, n):
+        program, trace = _traced(seed, n)
+        fast = PerfCounters.from_summary(schedule_summary(program, _COSTS))
+        full = PerfCounters.from_trace(trace)
+        assert fast.total_cycles == full.total_cycles
+        assert fast.busy_by_pipe == full.busy_by_pipe
+        assert (fast.l1_read_bytes, fast.l1_write_bytes,
+                fast.gm_read_bytes, fast.gm_write_bytes) == \
+               (full.l1_read_bytes, full.l1_write_bytes,
+                full.gm_read_bytes, full.gm_write_bytes)
+
+
+class TestWaitAttribution:
+    """Stall accounting invariants plus a plain-python gap oracle."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_wait_histogram_invariants(self, seed, n):
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        wait_mask, _set_mask, _packed = trace.flag_columns()
+        assert sum(count for count, _ in counters.flag_waits.values()) \
+            == int(wait_mask.sum())
+        assert sum(stall for _, stall in counters.flag_waits.values()) \
+            == counters.stall_cycles == sum(counters.wait_by_pipe)
+        for pipe in Pipe:
+            # Gaps on one pipe's timeline are disjoint sub-intervals of
+            # the makespan.
+            assert 0 <= counters.wait(pipe) <= counters.total_cycles
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_gap_oracle(self, seed, n):
+        """Re-derive per-pipe stall with a scalar loop: walk each pipe's
+        timeline in (start, end) order and charge idle gaps closed by a
+        ``wait_flag`` to that pipe."""
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        wait_mask = trace.flag_columns()[0]
+        expected = [0] * len(Pipe)
+        for p in range(len(Pipe)):
+            rows = [i for i in range(len(trace))
+                    if int(trace.pipes[i]) == p]
+            rows.sort(key=lambda i: (int(trace.starts[i]),
+                                     int(trace.ends[i])))
+            prev_end = 0
+            for i in rows:
+                gap = max(int(trace.starts[i]) - prev_end, 0)
+                if wait_mask[i]:
+                    expected[p] += gap
+                prev_end = int(trace.ends[i])
+        assert counters.wait_by_pipe == expected
+
+
+class TestProfilingIsPure:
+    """The ISSUE gate: profiling on vs off is byte-identical."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_traces_identical_under_session(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=False)
+        baseline = schedule(program, _COSTS)
+        with profile() as session:
+            observed = schedule(program, _COSTS)
+        assert len(session.samples) == 1
+        assert np.array_equal(baseline.starts, observed.starts)
+        assert np.array_equal(baseline.ends, observed.ends)
+        assert np.array_equal(baseline.pipes, observed.pipes)
+        assert np.array_equal(baseline.kinds, observed.kinds)
+        assert baseline.events == observed.events
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_summaries_identical_under_session(self, seed, n):
+        rng = np.random.default_rng(seed)
+        program = _random_flagged_program(rng, n, allow_deadlock=False)
+        baseline = schedule_summary(program, _COSTS)
+        with profile():
+            observed = schedule_summary(program, _COSTS)
+        assert baseline == observed
+
+    def test_env_session_is_pure_and_observes(self, monkeypatch):
+        program = Program([ScalarInstr(op="nop", cycles=3, tag="t")])
+        baseline = schedule(program, _COSTS)
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        session = active_session()
+        assert session is not None
+        traced = schedule(program, _COSTS)
+        assert traced.events == baseline.events
+        assert session.counters.total_cycles == baseline.total_cycles
+        assert session.samples
+
+
+class TestSessionSemantics:
+    def test_off_by_default(self):
+        assert active_session() is None
+
+    def test_schedule_hook_deposits_sample(self):
+        program = Program([ScalarInstr(op="nop", cycles=4, tag="t")],
+                          name="prog")
+        with profile() as session:
+            trace = schedule(program, _COSTS)
+        assert [label for label, _ in session.samples] == ["prog"]
+        assert session.counters.total_cycles == trace.total_cycles
+
+    def test_nested_sessions_fold_into_outer(self):
+        program = Program([ScalarInstr(op="nop", cycles=2)])
+        with profile() as outer:
+            with profile() as inner:
+                schedule(program, _COSTS)
+            assert len(inner.samples) == 1
+        assert [label for label, _ in outer.samples] == ["(scoped)"]
+        assert outer.counters.total_cycles == inner.counters.total_cycles
+
+    def test_finalize_attaches_numeric_snapshots(self):
+        with profile() as session:
+            schedule(Program([ScalarInstr(op="nop", cycles=1)]), _COSTS)
+        totals = session.finalize()
+        assert all(isinstance(v, int) for v in totals.cache.values())
+
+
+class TestCountersAlgebra:
+    def test_add_is_sequential_composition(self):
+        _, t1 = _traced(seed=1, n=30)
+        _, t2 = _traced(seed=2, n=40)
+        a = PerfCounters.from_trace(t1)
+        b = PerfCounters.from_trace(t2)
+        merged = PerfCounters.merged([a, b])
+        assert merged.total_cycles == a.total_cycles + b.total_cycles
+        assert merged.events == a.events + b.events
+        assert merged.traces == 2
+        for p in range(len(Pipe)):
+            assert merged.busy_by_pipe[p] == \
+                a.busy_by_pipe[p] + b.busy_by_pipe[p]
+            assert merged.wait_by_pipe[p] == \
+                a.wait_by_pipe[p] + b.wait_by_pipe[p]
+        for channel in set(a.flag_waits) | set(b.flag_waits):
+            expect = [x + y for x, y in zip(
+                a.flag_waits.get(channel, [0, 0]),
+                b.flag_waits.get(channel, [0, 0]))]
+            assert merged.flag_waits[channel] == expect
+        assert merged.l1_read_bytes == a.l1_read_bytes + b.l1_read_bytes
+        assert merged.gm_write_bytes == a.gm_write_bytes + b.gm_write_bytes
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_dict_round_trip(self, seed, n):
+        _, trace = _traced(seed, n)
+        counters = PerfCounters.from_trace(trace)
+        assert PerfCounters.from_dict(counters.to_dict()) == counters
+
+    def test_zero_cycle_derived_metrics(self):
+        empty = PerfCounters()
+        assert empty.utilization(Pipe.M) == 0.0
+        assert empty.l1_read_bits_per_cycle == 0.0
+        assert empty.cube_vector_ratio == 0.0
+
+    def test_cube_vector_ratio_conventions(self):
+        counters = PerfCounters()
+        counters.busy_by_pipe[int(Pipe.M)] = 100
+        assert counters.cube_vector_ratio == float("inf")
+        counters.busy_by_pipe[int(Pipe.V)] = 50
+        assert counters.cube_vector_ratio == pytest.approx(2.0)

@@ -1,0 +1,88 @@
+"""Roofline / bottleneck attribution tests."""
+
+import math
+
+import pytest
+
+from repro.compiler import GraphEngine
+from repro.config import ASCEND
+from repro.isa import Pipe
+from repro.models import build_model
+from repro.profiling import PerfCounters
+from repro.profiling.roofline import (
+    layer_rooflines,
+    model_rooflines,
+    roofline_table,
+)
+
+
+def _counters(cycles, busy, gm_read=0, gm_write=0):
+    counters = PerfCounters()
+    counters.total_cycles = cycles
+    for pipe, value in busy.items():
+        counters.busy_by_pipe[int(pipe)] = value
+    counters.gm_read_bytes = gm_read
+    counters.gm_write_bytes = gm_write
+    return counters
+
+
+class TestAttribution:
+    def test_busiest_pipe_binds(self):
+        rows = layer_rooflines([
+            ("conv", 1000, _counters(100, {Pipe.M: 90, Pipe.V: 40},
+                                     gm_read=200)),
+            ("softmax", 100, _counters(100, {Pipe.V: 70, Pipe.M: 10})),
+            ("load", 0, _counters(100, {Pipe.MTE2: 95})),
+        ], ASCEND)
+        assert [r.bound for r in rows] == ["cube", "vector", "llc-in"]
+        assert rows[0].bound_occupancy == pytest.approx(0.9)
+
+    def test_idle_layer(self):
+        (row,) = layer_rooflines([("nop", 0, _counters(0, {}))], ASCEND)
+        assert row.bound == "idle"
+        assert row.efficiency == 0.0
+
+    def test_roofline_coordinates(self):
+        (row,) = layer_rooflines(
+            [("gemm", 4096, _counters(2, {Pipe.M: 2}, gm_read=512,
+                                      gm_write=512))], ASCEND)
+        assert row.intensity == pytest.approx(4096 / 1024)
+        assert row.achieved_macs_per_cycle == pytest.approx(2048)
+        assert row.peak_macs_per_cycle == ASCEND.cube.macs_per_cycle
+        assert 0 < row.efficiency <= 1.0
+
+    def test_infinite_intensity_without_gm_traffic(self):
+        (row,) = layer_rooflines(
+            [("onchip", 64, _counters(4, {Pipe.V: 4}))], ASCEND)
+        assert math.isinf(row.intensity)
+
+    def test_llc_bound_flag(self):
+        limit = ASCEND.llc_bytes_per_cycle
+        (hot,) = layer_rooflines(
+            [("hot", 1, _counters(10, {Pipe.MTE2: 10},
+                                  gm_read=int(limit * 20)))], ASCEND)
+        assert hot.llc_demand_bytes_per_cycle > limit
+        assert hot.llc_bound
+
+
+class TestModelRooflines:
+    @pytest.fixture(scope="class")
+    def rooflines(self):
+        compiled = GraphEngine(ASCEND).compile_graph(build_model("gesture"))
+        return model_rooflines(compiled)
+
+    def test_every_layer_attributed(self, rooflines):
+        assert rooflines
+        for row in rooflines:
+            assert row.bound in {"cube", "vector", "l1-feed", "llc-in",
+                                 "writeback", "idle"}
+            assert 0.0 <= row.bound_occupancy <= 1.0
+            # Tile quantization in the cube cost model can round a
+            # layer's cycles slightly in its favor, so efficiency may
+            # nose past 1.0 — but never by a wide margin.
+            assert row.efficiency <= 1.25
+
+    def test_table_renders(self, rooflines):
+        table = roofline_table(rooflines)
+        assert "binding resource tally" in table
+        assert rooflines[0].name in table
