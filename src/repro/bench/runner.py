@@ -61,6 +61,31 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
         return None
 
 
+# Fork-aware cache statistics.  The worker callable and the parent's
+# counter snapshot ride into the pool via fork-inherited module globals
+# (never pickled), and every job returns ``(result, stats_delta)`` where
+# the delta covers exactly the counters this worker accumulated since
+# its previous job (or since fork, for its first).  Summing the deltas
+# in the parent therefore reconstructs the workers' total contribution
+# regardless of how jobs were distributed across processes.
+_SWEEP_WORKER: Optional[Callable] = None
+_FORK_SNAP: dict = {}
+_LAST_SNAP: Optional[dict] = None
+
+
+def _instrumented_call(job):
+    global _LAST_SNAP
+    from ..compiler import cache
+
+    if _LAST_SNAP is None:  # first job in this worker process
+        _LAST_SNAP = dict(_FORK_SNAP)
+    result = _SWEEP_WORKER(job)
+    now = cache.snapshot()
+    delta = {k: v - _LAST_SNAP.get(k, 0) for k, v in now.items()}
+    _LAST_SNAP = now
+    return result, delta
+
+
 def run_sweep(jobs: Iterable[_J], worker: Callable[[_J], _R],
               max_workers: Optional[int] = None,
               warm: Optional[Callable[[], object]] = None) -> List[_R]:
@@ -80,10 +105,24 @@ def run_sweep(jobs: Iterable[_J], worker: Callable[[_J], _R],
     ctx = _fork_context()
     if workers <= 1 or ctx is None:
         return [worker(job) for job in job_list]
+    from ..compiler import cache
+
+    global _SWEEP_WORKER, _FORK_SNAP, _LAST_SNAP
+    _SWEEP_WORKER = worker
+    _FORK_SNAP = cache.snapshot()
+    _LAST_SNAP = None
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            return list(pool.map(worker, job_list))
+            # Materialize everything before merging any delta, so a
+            # worker failure that triggers the serial redo below can
+            # never double-count partial statistics.
+            pairs = list(pool.map(_instrumented_call, job_list))
     except (pickle.PicklingError, AttributeError, BrokenExecutor):
-        # Unpicklable worker/job (or a worker died): redo serially so the
+        # Unpicklable job (or a worker died): redo serially so the
         # sweep still completes; correctness over parallelism.
         return [worker(job) for job in job_list]
+    finally:
+        _SWEEP_WORKER = None
+    for _, delta in pairs:
+        cache.merge_stats(delta)
+    return [result for result, _ in pairs]

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterator, MutableMapping, Optional
 __all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
            "load", "store", "model_content_key", "load_model", "store_model",
            "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats",
+           "snapshot", "merge_stats",
            "LruCache", "memory_max_entries", "program_cache_enabled",
            "store_arena", "load_arena", "quarantine_dir",
            "timing_stats_bypassed"]
@@ -449,3 +450,27 @@ def stats() -> Dict[str, Any]:
 def reset_stats() -> None:
     for k in _STATS:
         _STATS[k] = 0
+
+
+def snapshot() -> Dict[str, int]:
+    """Copy of the raw counters, suitable for delta arithmetic.
+
+    Fork-based worker pools use this to make cache statistics
+    fork-aware: each worker snapshots before a job, computes the delta
+    after it, and ships the delta back for :func:`merge_stats` in the
+    parent — otherwise counts accumulated in workers die with them and
+    sweep reports under-report misses and stores.
+    """
+    return dict(_STATS)
+
+
+def merge_stats(delta: Dict[str, int]) -> None:
+    """Fold a worker's counter delta into this process's counters.
+
+    Unknown keys are ignored (a newer worker schema never corrupts the
+    parent); values must be ints — deltas come straight from
+    :func:`snapshot` subtraction.
+    """
+    for key, value in delta.items():
+        if key in _STATS:
+            _STATS[key] += int(value)

@@ -251,7 +251,75 @@ class GraphEngine:
         ResNet-50/BERT (and the stream schedules derived from them via
         :meth:`to_streams`) without lowering or scheduling a single
         layer.
+
+        ``REPRO_COMPILE_WORKERS`` >= 2 routes through
+        :meth:`compile_graph_parallel`, which shards cold per-layer
+        compiles across a fork-based worker pool; results are identical
+        by construction (workers only pre-seed the caches the serial
+        path then reads).  Unset/0/1 keeps the serial path — the
+        off-by-default behavior is byte-for-byte unchanged.
         """
+        workers = _compile_workers()
+        if workers > 1:
+            return self.compile_graph_parallel(graph, workloads,
+                                               max_workers=workers)
+        return self._compile_graph_serial(graph, workloads)
+
+    def compile_graph_parallel(self, graph: Graph,
+                               workloads: Optional[
+                                   Sequence[Tuple[str, OpWorkload]]] = None,
+                               max_workers: Optional[int] = None
+                               ) -> CompiledModel:
+        """Shard cold per-layer compiles across a fork-based worker pool.
+
+        The structurally deduped layer set (minus in-memory cache hits)
+        fans out over :func:`repro.bench.run_sweep` — each worker lowers
+        + schedules its layers, stores arena programs and stats into the
+        shared persistent cache, and ships the numeric payload back; the
+        parent seeds the process-global memory cache from those payloads
+        and then runs the *unchanged* serial assembly, so the resulting
+        :class:`CompiledModel` is byte-identical to a serial compile.
+        Worker cache counters fold back into this process's
+        ``cache.stats()`` via the sweep harness's fork-aware stats
+        plumbing.  Falls back to serial work transparently on no-fork
+        platforms (run_sweep's own fallback) and skips the fan-out
+        entirely when a timing-fault campaign is active (per-call
+        perturbations must not cross process boundaries) or when the
+        whole model is already cached in memory.
+        """
+        pairs = list(workloads if workloads is not None
+                     else graph.grouped_workloads())
+        scales = _im2col_scales(graph)
+        model_key = cache.model_content_key(self.config, pairs, scales)
+        if (not cache.timing_stats_bypassed()
+                and GraphEngine._GLOBAL_MODEL_CACHE.get(model_key) is None):
+            seen: Dict[str, Tuple[OpWorkload, float]] = {}
+            for group, work in pairs:
+                scale = scales.get(group, 1.0)
+                key = cache.content_key(self.config, work, scale, None)
+                if key in seen or self._cache.get(key) is not None:
+                    continue
+                seen[key] = (work, scale)
+            if seen:
+                from ..bench.runner import run_sweep
+
+                jobs = [(self.config, work, scale)
+                        for work, scale in seen.values()]
+                payloads = run_sweep(jobs, _compile_layer_job,
+                                     max_workers=max_workers)
+                for key, payload in zip(seen, payloads):
+                    work, _ = seen[key]
+                    try:
+                        layer = self._from_payload(payload, work, None)
+                    except (KeyError, TypeError):
+                        continue  # worker anomaly: serial path recompiles
+                    self._cache[key] = layer
+        return self._compile_graph_serial(graph, workloads)
+
+    def _compile_graph_serial(self, graph: Graph,
+                              workloads: Optional[
+                                  Sequence[Tuple[str, OpWorkload]]] = None
+                              ) -> CompiledModel:
         pairs = list(workloads if workloads is not None
                      else graph.grouped_workloads())
         scales = _im2col_scales(graph)
@@ -337,6 +405,32 @@ class GraphEngine:
             tasks.append(Task(name=layer.name, blocks=blocks,
                               workload=layer.workload))
         return Stream(name=compiled.name, tasks=tasks)
+
+
+def _compile_workers() -> int:
+    """Worker count for process-sharded compiles (``REPRO_COMPILE_WORKERS``).
+
+    Unset, ``0``, and ``1`` all select the serial path — parallel
+    compilation is opt-in because forking a pool only pays off on cold
+    multi-layer compiles.
+    """
+    from ..config.env import env_int
+
+    limit = env_int("REPRO_COMPILE_WORKERS", default=None, minimum=0)
+    return limit or 1
+
+
+def _compile_layer_job(job: Tuple[CoreConfig, OpWorkload, float]) -> dict:
+    """Sweep worker: compile one deduped layer, return its payload.
+
+    Runs in a forked worker.  ``compile_workload`` stores the arena
+    program and stats entry into the shared persistent cache as a side
+    effect, so even on platforms where the payload hand-back is lost the
+    next serial compile is a disk hit.
+    """
+    config, work, scale = job
+    layer = GraphEngine(config).compile_workload(work, a_bytes_scale=scale)
+    return {f: getattr(layer, f) for f in _PAYLOAD_FIELDS}
 
 
 def _im2col_scales(graph: Graph) -> Dict[str, float]:

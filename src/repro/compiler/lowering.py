@@ -62,8 +62,9 @@ from ..isa.program import Program
 from ..memory.zvc import zvc_compressed_nbytes
 from .tiling import Tiling, choose_tiling
 
-__all__ = ["GemmLayout", "PostOp", "lower_gemm", "lower_vector_work",
-           "lower_workload", "lowering_stats", "reset_lowering_stats"]
+__all__ = ["GemmLayout", "PostOp", "clear_lowering_memo", "lower_gemm",
+           "lower_vector_work", "lower_workload", "lowering_stats",
+           "reset_lowering_stats"]
 
 # REPRO_LOWERING selects the emitter: "arena" (default) produces columnar
 # programs via vectorized index arithmetic; "objects" keeps the original
@@ -81,7 +82,7 @@ def _lowering_mode() -> str:
 # Graceful degradation: if the arena emitter fails (a real validation
 # bug, or an injected arena fault), the object oracle still exists —
 # fall back to it and count the event rather than failing the compile.
-_LOWERING_STATS = {"arena_fallbacks": 0}
+_LOWERING_STATS = {"arena_fallbacks": 0, "memo_hits": 0}
 
 
 def lowering_stats() -> dict:
@@ -106,6 +107,44 @@ def _try_arena(thunk):
     except Exception:
         _LOWERING_STATS["arena_fallbacks"] += 1
         return None
+
+
+# Lowering is pure given its arguments minus the tag, and real graphs
+# repeat structures relentlessly (BERT's 12 encoder blocks, resnet's
+# stages), so the arena emitters memoize their output keyed on the
+# structural arguments.  A hit is retagged via the zero-copy
+# :meth:`InstructionArena.retagged` — column arrays are shared, never
+# mutated after lowering, so sharing is safe and downstream
+# identity-keyed caches (``schedule_summary``'s memo) hit for free.
+# ``REPRO_LOWER_MEMO=0`` disables it; any active fault campaign
+# bypasses it because injected arena faults are per-call.
+_ARENA_MEMO: dict = {}
+_ARENA_MEMO_CAP = 1024
+
+
+def _memo_enabled() -> bool:
+    from ..config.env import env_flag
+    from ..reliability.injector import active_injector
+
+    return active_injector() is None and env_flag("REPRO_LOWER_MEMO", True)
+
+
+def _memo_get(key):
+    hit = _ARENA_MEMO.get(key)
+    if hit is not None:
+        _LOWERING_STATS["memo_hits"] += 1
+    return hit
+
+
+def _memo_put(key, arena) -> None:
+    _ARENA_MEMO[key] = arena
+    while len(_ARENA_MEMO) > _ARENA_MEMO_CAP:
+        _ARENA_MEMO.pop(next(iter(_ARENA_MEMO)))
+
+
+def clear_lowering_memo() -> None:
+    """Drop all memoized arenas (tests, and fork-worker hygiene)."""
+    _ARENA_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -224,10 +263,21 @@ def lower_gemm(
     if (weight_density is None and not b_resident
             and _lowering_mode() != "objects"):
         from .arena_lowering import lower_gemm_arena
+        memo_key = None
+        if _memo_enabled():
+            memo_key = ("gemm", config, dtype, out_dtype, m, k, n, tiling,
+                        tuple(post_ops), layout, a_bytes_scale)
+            hit = _memo_get(memo_key)
+            if hit is not None:
+                return Program.from_arena(
+                    hit.retagged(tag),
+                    name=f"gemm_{m}x{k}x{n}_{config.name}")
         program = _try_arena(lambda: lower_gemm_arena(
             m, k, n, config, dtype, out_dtype, tag, tiling, post_ops,
             layout, a_bytes_scale))
         if program is not None:
+            if memo_key is not None:
+                _memo_put(memo_key, program._arena)
             return program
     acc = accumulator_for(dtype)
     functional = layout is not None
@@ -562,9 +612,19 @@ def lower_vector_work(work: VectorWork, config: CoreConfig, tag: str = "",
     """
     if _lowering_mode() != "objects":
         from .arena_lowering import lower_vector_arena
+        memo_key = None
+        if _memo_enabled():
+            memo_key = ("vec", config, work, load_input, store_output)
+            hit = _memo_get(memo_key)
+            if hit is not None:
+                return Program.from_arena(
+                    hit.retagged(tag),
+                    name=f"vector_{work.elems}x{work.passes}_{config.name}")
         program = _try_arena(lambda: lower_vector_arena(
             work, config, tag, load_input, store_output))
         if program is not None:
+            if memo_key is not None:
+                _memo_put(memo_key, program._arena)
             return program
     elem_b = work.dtype.bytes
     # Two in-flight chunks must fit UB.
@@ -619,10 +679,30 @@ def lower_workload(work: OpWorkload, config: CoreConfig,
     if _lowering_mode() != "objects" and all(
             s._arena is not None for s in subs):
         from ..isa.arena import InstructionArena
+        memo_key = None
+        if _memo_enabled():
+            memo_key = ("workload", config, work.gemms, work.vector,
+                        a_bytes_scale_for_gemms, weight_density)
+            hit = _memo_get(memo_key)
+            if hit is not None:
+                return Program.from_arena(hit.retagged(tag), name=name)
+        # The sub-program memo hands structurally identical adjacent
+        # layers the *same* arena object — fold them into the repeat
+        # count so concat records one wide repeat block (better
+        # steady-state extrapolation) instead of several narrow ones.
+        arenas: List = []
+        mreps: List[int] = []
+        for sub, count in zip(subs, reps):
+            if arenas and sub._arena is arenas[-1]:
+                mreps[-1] += count
+            else:
+                arenas.append(sub._arena)
+                mreps.append(count)
         program = _try_arena(lambda: Program.from_arena(
-            InstructionArena.concat([s._arena for s in subs], reps),
-            name=name))
+            InstructionArena.concat(arenas, mreps), name=name))
         if program is not None:
+            if memo_key is not None:
+                _memo_put(memo_key, program._arena)
             return program
     instrs: List[Instruction] = []
     for sub, count in zip(subs, reps):

@@ -14,7 +14,8 @@ two coupled modes:
 from .costs import CostModel
 from .trace import TraceEvent, ExecutionTrace, TraceSummary
 from .engine import schedule
-from .core import AscendCore, RunResult, resolve_workers
+from .core import (AscendCore, RunResult, functional_min_tiles,
+                   resolve_workers)
 
 __all__ = [
     "CostModel",
@@ -24,5 +25,6 @@ __all__ = [
     "schedule",
     "AscendCore",
     "RunResult",
+    "functional_min_tiles",
     "resolve_workers",
 ]

@@ -60,13 +60,36 @@ from .mte import (
 from .trace import ExecutionTrace
 from .vector import execute_vector
 
-__all__ = ["AscendCore", "RunResult", "resolve_workers"]
+__all__ = ["AscendCore", "RunResult", "functional_min_tiles",
+           "resolve_workers"]
 
 _ENV_WORKERS = "REPRO_FUNC_WORKERS"
 
 # Waves shorter than this run inline even in parallel mode: dispatching
 # a couple of tiles to a pool costs more than the GIL it frees.
 _MIN_PARALLEL_WAVE = 2
+
+_ENV_MIN_TILES = "REPRO_FUNC_MIN_TILES"
+
+# Programs with fewer functional (tile) instructions than this run
+# serially even when REPRO_FUNC_WORKERS asks for a pool: spinning up the
+# executor and partitioning waves costs more than the numpy time it
+# overlaps.  The default sits between a 256^3 GEMM (~130 tiles, where
+# the pool measured *slower* than serial) and the kernel sizes where
+# wavefront parallelism starts winning (thousands of tiles).
+_DEFAULT_MIN_TILES = 512
+
+
+def functional_min_tiles() -> int:
+    """Tile-count threshold below which functional replay stays serial.
+
+    ``REPRO_FUNC_MIN_TILES`` overrides (``0`` disables the cutover, so a
+    pool request always gets a pool); invalid values raise
+    :class:`~repro.errors.ConfigError` naming the variable.
+    """
+    from ..config.env import env_int
+
+    return env_int(_ENV_MIN_TILES, default=_DEFAULT_MIN_TILES, minimum=0)
 
 
 def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
@@ -148,6 +171,8 @@ class AscendCore:
     # -- functional replay ----------------------------------------------------
 
     def _replay(self, trace: ExecutionTrace, workers: int) -> None:
+        if workers > 1 and trace.n_functional() < functional_min_tiles():
+            workers = 1  # pool overhead beats the win on small kernels
         if workers <= 1:
             for instr in trace.functional_instructions():
                 self._execute(instr)

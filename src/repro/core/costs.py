@@ -61,6 +61,9 @@ _VOP_COPY = list(VectorOpcode).index(VectorOpcode.COPY)
 _VOP_CAST = list(VectorOpcode).index(VectorOpcode.CAST)
 
 
+_COLUMN_MEMO_CAP = 512
+
+
 class CostModel:
     """Maps instructions to cycle costs for one :class:`CoreConfig`."""
 
@@ -70,6 +73,11 @@ class CostModel:
         # GEMM tile shapes repeat across a compiled graph; price each
         # distinct (m, k, n, dtype) once.
         self._cube_memo: dict = {}
+        # Whole-arena cost columns repeat too: retagged memo siblings
+        # share every priced column, so one pricing serves all of them.
+        # Keyed by column identity; the stored arena reference pins the
+        # ids so they cannot be recycled while the entry lives.
+        self._column_memo: dict = {}
 
     # -- cube -----------------------------------------------------------------
 
@@ -139,7 +147,7 @@ class CostModel:
         inexact arenas too — every priced quantity (cycles, nbytes, elems)
         is column-encoded even for rows whose full semantics are not.
         """
-        from ..isa.arena import DTYPE_BITS, DTYPE_TABLE
+        from ..isa.arena import _COLUMN_NAMES, DTYPE_BITS, DTYPE_TABLE
         from ..isa.instructions import (
             OP_BARRIER,
             OP_COPY,
@@ -152,6 +160,12 @@ class CostModel:
             OP_VECTOR,
             OP_WAIT,
         )
+        priced_cols = tuple(c for c in _COLUMN_NAMES if c != "tag_id")
+        hit = self._column_memo.get(id(arena.kind))
+        if (hit is not None
+                and all(getattr(hit[0], c) is getattr(arena, c)
+                        for c in priced_cols)):
+            return hit[1]
         kind = arena.kind
         cost = np.zeros(arena.n, np.int64)
         cost[(kind == OP_SET) | (kind == OP_WAIT)
@@ -209,6 +223,12 @@ class CostModel:
                              / self.config.ub_bytes_per_cycle)
                 c[special] = _VEC_STARTUP + ub.astype(np.int64)
             cost[vec] = c
+        # Freeze before memoizing: any in-place mutation by a future
+        # caller would silently poison every sharer — raising is better.
+        cost.flags.writeable = False
+        self._column_memo[id(arena.kind)] = (arena, cost)
+        while len(self._column_memo) > _COLUMN_MEMO_CAP:
+            self._column_memo.pop(next(iter(self._column_memo)))
         return cost
 
     def cost(self, instr: Instruction) -> int:

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..config.env import env_choice
 from ..errors import DeadlockError
+from ..isa.arena import _COLUMN_NAMES as _ARENA_COLUMNS
 from ..isa.channels import pack_channel
 from ..isa.instructions import (
     OPCODE_OF,
@@ -62,7 +63,24 @@ __all__ = [
     "schedule_single_pass",
     "schedule_summary",
     "schedule_fixpoint",
+    "engine_stats",
+    "reset_engine_stats",
 ]
+
+# Observability for the drain fast paths (tests pin that the intended
+# path actually engaged; the benchmark harness reports them).
+_ENGINE_STATS = {"flat_drains": 0, "general_drains": 0,
+                 "extrapolated_blocks": 0, "summary_memo_hits": 0}
+
+
+def engine_stats() -> dict:
+    """Counters for scheduler fast-path engagement in this process."""
+    return dict(_ENGINE_STATS)
+
+
+def reset_engine_stats() -> None:
+    for k in _ENGINE_STATS:
+        _ENGINE_STATS[k] = 0
 
 # The PSQ dispatches a bounded number of instructions per cycle; with
 # tile-granular instructions this is essentially never the bottleneck,
@@ -317,9 +335,159 @@ def _match_waits(arena) -> np.ndarray:
     return match
 
 
+def _repeat_segments(arena, n: int) -> List[Tuple[int, int, int]]:
+    """Usable (start, block, reps) segments: in bounds, non-overlapping,
+    ascending, and big enough that steady-state detection can pay off
+    (at least four repeats — two to warm up, two to verify the shift)."""
+    out: List[Tuple[int, int, int]] = []
+    last_end = 0
+    for start, block, reps in sorted(getattr(arena, "repeats", ())):
+        if reps < 4 or block < 1:
+            continue
+        end = start + block * reps
+        if start < last_end or end > n:
+            continue
+        out.append((start, block, reps))
+        last_end = end
+    return out
+
+
+def _flat_drain_arena(arena, cost_col: np.ndarray, match_col: np.ndarray
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Program-order drain: valid whenever every wait matches backward.
+
+    In every program the default lowerers emit, the j-th wait on a
+    channel always pairs with a set at a *lower* row index (producers
+    signal before consumers reach the rendezvous).  Then each row's end
+    depends only on strictly earlier rows — its pipe predecessor and its
+    matched set — so program order is a topological order of the
+    dependence DAG and one flat walk computes the same unique fixpoint
+    the work-conserving queue drain converges to (both evaluate the
+    identical per-row recurrence ``end = max(pipe_prev, dispatch,
+    matched_end) + cost``; tests pin byte-identity against the queue
+    drain and the fixpoint oracle).  Returns None — caller falls back to
+    the general drain — when a wait matches forward or never (the
+    general drain owns stall scheduling and deadlock reporting).
+
+    Concat-repeated regions (``arena.repeats``) additionally use max-plus
+    shift invariance: once the per-block match pattern repeats exactly,
+    two consecutive blocks shift end times by one uniform delta, and the
+    PSQ dispatch bound is strictly dominated with delta >= ceil(block /
+    dispatch-rate), every later block is the previous one shifted by
+    that delta — computed vectorized instead of re-walked row by row.
+    """
+    n = arena.n
+    if n == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    if match_col.size:
+        if np.any(match_col == -2):
+            return None  # unmatched wait: general drain reports deadlock
+        if np.any(match_col >= np.arange(n, dtype=np.int64)):
+            return None  # forward match: program order not topological
+    disp = _DISPATCH_PER_CYCLE
+    pipe_l = arena.pipe.tolist()
+    cost_l = cost_col.tolist()
+    match_l = match_col.tolist()
+    ends = [0] * n
+    pipe_time = [0] * _N_PIPES
+
+    def run(lo: int, hi: int) -> None:
+        for i in range(lo, hi):
+            p = pipe_l[i]
+            t = pipe_time[p]
+            d = i // disp
+            if t < d:
+                t = d
+            m = match_l[i]
+            if m >= 0:
+                s = ends[m]
+                if s > t:
+                    t = s
+            t += cost_l[i]
+            pipe_time[p] = t
+            ends[i] = t
+
+    pos = 0
+    for rstart, block, reps in _repeat_segments(arena, n):
+        run(pos, rstart)
+        _run_repeat_region(rstart, block, reps, run, ends, pipe_l, cost_l,
+                           cost_col, match_col, pipe_time, disp)
+        pos = rstart + block * reps
+    run(pos, n)
+    ends_col = np.asarray(ends, np.int64)
+    return ends_col - cost_col, ends_col
+
+
+def _run_repeat_region(rstart: int, B: int, R: int, run, ends, pipe_l,
+                       cost_l, cost_col, match_col, pipe_time,
+                       disp: int) -> None:
+    """Drain rows [rstart, rstart + B*R) — R copies of a B-row block —
+    extrapolating the steady state once it is *proven*, else walking.
+
+    Preconditions verified vectorized before any shortcut:
+    (a) match shift invariance — block j's waits match exactly block 0's
+        pattern shifted by j*B (so every block sees the same dependence
+        shape), and
+    (b) match depth <= 2B — matched sets lie within the previous two
+        blocks (so two observed uniform shifts pin every input of the
+        next block), and
+    (c) per-row costs identical across blocks.
+    Then blocks are walked until two *consecutive* uniform end-time
+    shifts by the same delta are observed with delta >= ceil(B/disp) and
+    a strict dispatch margin on every row of the last block.  From there
+    induction gives ends(block j+k) = ends(block j) + k*delta: pipe
+    cursors and matched ends all shift by delta, and the dispatch bound
+    grows by at most ceil(B/disp) <= delta per block while start times
+    grow by exactly delta, so it can never catch up and bind.
+    """
+    seg_end = rstart + B * R
+    mm = match_col[rstart:seg_end].reshape(R, B)
+    base = mm[0]
+    expect = np.where(
+        base >= 0,
+        base[None, :] + (np.arange(R, dtype=np.int64) * B)[:, None],
+        base[None, :])
+    cc = cost_col[rstart:seg_end].reshape(R, B)
+    offs = np.arange(B, dtype=np.int64)
+    if (not np.array_equal(mm, expect)
+            or not np.all(cc == cc[0])
+            or not np.all((base < 0) | (base >= rstart + offs - 2 * B))):
+        run(rstart, seg_end)
+        return
+
+    min_delta = -(-B // disp)
+    delta_prev: Optional[int] = None
+    prev: Optional[list] = None
+    j = 0
+    while j < R:
+        s = rstart + j * B
+        run(s, s + B)
+        cur = ends[s:s + B]
+        if prev is not None:
+            d = cur[0] - prev[0]
+            uniform = all(c - p == d for c, p in zip(cur, prev))
+            if (uniform and d == delta_prev and d >= min_delta
+                    and j + 1 < R
+                    and all(ends[s + r] - cost_l[s + r] > (s + r) // disp
+                            for r in range(B))):
+                rem = R - 1 - j
+                blk = np.asarray(cur, np.int64)
+                shifts = np.arange(1, rem + 1, dtype=np.int64) * d
+                ends[s + B:seg_end] = \
+                    (blk[None, :] + shifts[:, None]).ravel().tolist()
+                total = rem * d
+                for p in set(pipe_l[s:s + B]):
+                    pipe_time[p] += total
+                _ENGINE_STATS["extrapolated_blocks"] += rem
+                return
+            delta_prev = d if uniform else None
+        prev = cur
+        j += 1
+
+
 def _drain_arena(arena, costs: CostModel,
                  cost_col: Optional[np.ndarray] = None
-                 ) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Arena-native twin of :func:`_drain`.
 
     The prepass reads the precomputed columns directly — per-pipe queues
@@ -357,6 +525,17 @@ def _drain_arena(arena, costs: CostModel,
             match_col = inj.perturb_matches(
                 match_col, arena.packed_channels(),
                 np.nonzero(arena.kind == OP_SET)[0])
+
+    # Flat program-order fast path: applicable exactly when every wait
+    # matches backward (always true for lowered programs; injected sync
+    # faults can break it, in which case the perturbed match column
+    # fails the precondition and the general drain below takes over).
+    flat = _flat_drain_arena(arena, cost_col, match_col)
+    if flat is not None:
+        _ENGINE_STATS["flat_drains"] += 1
+        starts, ends = flat
+        return starts, ends, pipe_col, cost_col
+    _ENGINE_STATS["general_drains"] += 1
 
     queues: List[List[tuple]] = []
     for p in range(_N_PIPES):
@@ -430,7 +609,8 @@ def _drain_arena(arena, costs: CostModel,
         _raise_deadlock(stalls, _sync_injected(inj))
 
     # schedule_single_pass reuses ends as the trace end column.
-    return starts, ends, pipe_col, cost_col
+    return (np.asarray(starts, np.int64), np.asarray(ends, np.int64),
+            pipe_col, cost_col)
 
 
 def _columnar_trace(instrs: List[Instruction], starts: List[int],
@@ -471,6 +651,20 @@ def schedule_single_pass(program: Program, costs: CostModel) -> ExecutionTrace:
 
 _MOVE_TYPES = (CopyInstr, Img2ColInstr, TransposeInstr, DecompressInstr)
 
+# Summary results memoized by column *identity*: the compiler's memo
+# hands structurally identical layers retagged views over the very same
+# column arrays (only ``tag_id`` differs, and nothing in a summary
+# depends on tags), so BERT's 12 encoder blocks drain once.  The key is
+# ``(id(kind column), id(costs))``; a hit additionally verifies that
+# every non-tag column is the identical object, so id reuse after GC
+# can never alias (values hold strong refs that pin the key objects
+# anyway).  Bounded FIFO keeps long sweeps from accumulating arenas.
+# Any active fault campaign bypasses the memo — injected perturbations
+# are per-call.
+_SUMMARY_MEMO: "Dict[Tuple[int, int], tuple]" = {}
+_SUMMARY_MEMO_CAP = 512
+_SUMMARY_COLS = tuple(c for c in _ARENA_COLUMNS if c != "tag_id")
+
 
 def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
     """Schedule ``program`` and return only its :class:`TraceSummary`.
@@ -484,6 +678,15 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
     """
     if isinstance(program, Program) and program._arena is not None:
         arena = program._arena
+        memo_ok = active_injector() is None
+        key = (id(arena.kind), id(costs))
+        if memo_ok:
+            hit = _SUMMARY_MEMO.get(key)
+            if (hit is not None and hit[1] is costs
+                    and all(getattr(hit[0], c) is getattr(arena, c)
+                            for c in _SUMMARY_COLS)):
+                _ENGINE_STATS["summary_memo_hits"] += 1
+                return _observed_summary(hit[2], program)
         # The drain returns the cost column it actually used (identical to
         # cost_columns' unless stall faults were injected).
         _, ends, _, cost_col = _drain_arena(arena, costs)
@@ -500,14 +703,19 @@ def schedule_summary(program: Program, costs: CostModel) -> TraceSummary:
         gm_read = int(nb[mv & (src_sp == GM), 0].sum())
         l1_write = int(nb[mv & (dst_sp == L1), 0].sum())
         gm_write = int(nb[mv & (dst_sp == GM), 1].sum())
-        return _observed_summary(TraceSummary(
-            total_cycles=max(ends, default=0),
+        summary = TraceSummary(
+            total_cycles=int(ends.max()) if len(ends) else 0,
             busy_by_pipe=tuple(int(b) for b in busy),
             l1_read_bytes=l1_read,
             l1_write_bytes=l1_write,
             gm_read_bytes=gm_read,
             gm_write_bytes=gm_write,
-        ), program)
+        )
+        if memo_ok:
+            _SUMMARY_MEMO[key] = (arena, costs, summary)
+            while len(_SUMMARY_MEMO) > _SUMMARY_MEMO_CAP:
+                _SUMMARY_MEMO.pop(next(iter(_SUMMARY_MEMO)))
+        return _observed_summary(summary, program)
     instrs = (program.instructions if isinstance(program, Program)
               else list(program))
     _, ends, pipe_of, cost_of = _drain(instrs, costs)

@@ -679,6 +679,10 @@ class ExecutionTrace:
         return [instrs[i]
                 for i in np.nonzero(np.isin(kinds, FUNCTIONAL_KINDS))[0]]
 
+    def n_functional(self) -> int:
+        """Count of functional instructions, without materializing them."""
+        return int(np.isin(self._kind[:self._n], FUNCTIONAL_KINDS).sum())
+
     def wavefronts(self) -> List[List[Instruction]]:
         """Group functional instructions into dependence-free waves.
 

@@ -109,8 +109,8 @@ _COLUMN_NAMES = tuple(name for name, _, _ in _COLUMNS)
 class InstructionArena:
     """One lowered program as parallel columns (see module docstring)."""
 
-    __slots__ = (*_COLUMN_NAMES, "n", "tags", "exact", "_objects",
-                 "_nbytes", "_elems")
+    __slots__ = (*_COLUMN_NAMES, "n", "tags", "exact", "repeats",
+                 "_objects", "_nbytes", "_elems")
 
     def __init__(self, n: int, tags: Optional[List[str]] = None) -> None:
         self.n = n
@@ -119,6 +119,13 @@ class InstructionArena:
         # turns False when a row needs its retained object (scalar-op
         # strings, img2col metadata, >2 vector sources).
         self.exact = True
+        # (start_row, block_rows, reps) segments recorded by concat for
+        # sub-programs tiled more than once: rows [start, start + block *
+        # reps) are reps verbatim copies of a block.  Pure metadata — the
+        # timing engine uses it to prove steady-state shift invariance
+        # and skip re-walking identical blocks; dropping it only costs
+        # speed, never correctness.
+        self.repeats: List[Tuple[int, int, int]] = []
         self._objects: Optional[List[Instruction]] = None
         self._nbytes: Optional[np.ndarray] = None
         self._elems: Optional[np.ndarray] = None
@@ -361,6 +368,32 @@ class InstructionArena:
 
     # -- structural ops -------------------------------------------------------
 
+    def retagged(self, tag: str) -> "InstructionArena":
+        """A copy of this arena with every row's tag replaced by ``tag``.
+
+        Column arrays are *shared* with the original (they are never
+        mutated after lowering), so retagging a memoized sub-program is
+        O(n) in the tag-id column only.  The materialized-object cache is
+        dropped — objects embed tag strings.  Returns ``self`` unchanged
+        when the arena already carries exactly ``tag`` on every row.
+        """
+        tags = ["", tag] if tag else [""]
+        if self.tags == tags:
+            return self
+        out = InstructionArena.__new__(InstructionArena)
+        for name in _COLUMN_NAMES:
+            setattr(out, name, getattr(self, name))
+        out.n = self.n
+        out.tags = tags
+        out.exact = self.exact
+        out.repeats = list(self.repeats)
+        out._objects = None
+        out._nbytes = self._nbytes
+        out._elems = self._elems
+        out.tag_id = (np.ones(self.n, np.int32) if tag
+                      else np.zeros(self.n, np.int32))
+        return out
+
     @classmethod
     def concat(cls, arenas: Sequence["InstructionArena"],
                repeats: Optional[Sequence[int]] = None) -> "InstructionArena":
@@ -378,6 +411,11 @@ class InstructionArena:
         for arena, reps in zip(arenas, repeats):
             if reps <= 0 or arena.n == 0:
                 continue
+            if reps > 1:
+                out.repeats.append((total, arena.n, reps))
+            else:
+                out.repeats.extend((total + start, block, r)
+                                   for start, block, r in arena.repeats)
             if objects is not None:  # inexact rows need their objects
                 objects.extend(arena.materialize() * reps)
             remap = np.array([out.intern(t) for t in arena.tags], np.int32)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..config.core_configs import CoreConfig
 from ..errors import IsaError
+from .arena import _COLUMN_NAMES as _ARENA_COLUMN_NAMES
 from .arena import InstructionArena
 from .instructions import (
     OP_CUBE,
@@ -55,6 +56,16 @@ _SPACE_CAPACITY_ATTR = {
     MemSpace.L1: "l1_bytes",
     MemSpace.UB: "ub_bytes",
 }
+
+# Successful columnar validations, keyed by (kind-column identity,
+# config).  Validation is a pure function of the non-tag columns plus
+# the design point, so retagged memo siblings — which share every such
+# column — validate once for the whole family.  The stored arena
+# reference pins the column ids against recycling; only success is
+# memoized (failures raise and are never recorded).
+_VALIDATE_MEMO: Dict[tuple, tuple] = {}
+_VALIDATE_MEMO_CAP = 512
+_SHARED_COLS = tuple(c for c in _ARENA_COLUMN_NAMES if c != "tag_id")
 
 
 class Program:
@@ -177,7 +188,16 @@ class Program:
         """
         arena = self.arena
         if arena.exact:
+            key = (id(arena.kind), config)
+            hit = _VALIDATE_MEMO.get(key)
+            if (hit is not None
+                    and all(getattr(hit[0], c) is getattr(arena, c)
+                            for c in _SHARED_COLS)):
+                return
             self._validate_columns(arena, config)
+            _VALIDATE_MEMO[key] = (arena,)
+            while len(_VALIDATE_MEMO) > _VALIDATE_MEMO_CAP:
+                _VALIDATE_MEMO.pop(next(iter(_VALIDATE_MEMO)))
         else:
             self._validate_objects(config)
 

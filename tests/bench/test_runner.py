@@ -28,6 +28,16 @@ def _boom(job):
     raise RuntimeError(f"job {job} failed")
 
 
+def _bump_cache_counters(job):
+    # Stand-in for a worker that compiles: touch the per-process cache
+    # counters directly so the test does not depend on compile costs.
+    from repro.compiler import cache
+
+    cache._STATS["misses"] += 1
+    cache._STATS["stores"] += 2
+    return job
+
+
 class TestRunSweep:
     def test_matches_serial_map_in_order(self):
         jobs = list(range(17))
@@ -83,3 +93,40 @@ class TestRunSweep:
     def test_worker_exception_propagates(self):
         with pytest.raises(RuntimeError, match="failed"):
             run_sweep(range(3), _boom, max_workers=2)
+
+
+class TestForkAwareStats:
+    def test_worker_cache_counters_merge_into_parent(self):
+        """Counters bumped inside fork workers must show up in the
+        parent's ``cache.stats()`` after the sweep returns."""
+        from repro.compiler import cache
+
+        if sweep_workers(8) < 2:
+            pytest.skip("single-CPU environment")
+        before = cache.snapshot()
+        results = run_sweep(range(6), _bump_cache_counters, max_workers=3)
+        assert results == list(range(6))
+        after = cache.snapshot()
+        assert after["misses"] - before["misses"] == 6
+        assert after["stores"] - before["stores"] == 12
+
+    def test_serial_path_unaffected(self, monkeypatch):
+        from repro.compiler import cache
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        before = cache.snapshot()
+        run_sweep(range(3), _bump_cache_counters)
+        after = cache.snapshot()
+        # Serial execution bumps in-process; no delta machinery involved,
+        # and crucially no double count.
+        assert after["misses"] - before["misses"] == 3
+        assert after["stores"] - before["stores"] == 6
+
+    def test_merge_ignores_unknown_keys(self):
+        from repro.compiler import cache
+
+        before = cache.snapshot()
+        cache.merge_stats({"misses": 1, "not_a_counter": 99})
+        after = cache.snapshot()
+        assert after["misses"] - before["misses"] == 1
+        assert "not_a_counter" not in after

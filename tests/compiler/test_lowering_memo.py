@@ -1,0 +1,137 @@
+"""Lowering memoization must be a pure speedup: identical programs out.
+
+The arena emitters memoize per-(structure, config) and retag hits via
+zero-copy column sharing; these tests pin that a memo hit is
+instruction-for-instruction identical to a fresh lowering, that the
+``REPRO_LOWER_MEMO=0`` escape hatch works, and that active fault
+campaigns bypass the memo entirely (injected arena faults are
+per-call).
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.compiler.lowering import (
+    clear_lowering_memo,
+    lower_gemm,
+    lower_vector_work,
+    lower_workload,
+    lowering_stats,
+    reset_lowering_stats,
+)
+from repro.config.core_configs import CORE_CONFIGS
+from repro.dtypes import FP16, INT8, INT32
+from repro.graph.workload import GemmWork, OpWorkload, VectorWork
+from repro.isa.arena import _COLUMN_NAMES
+
+# Only design points whose cube speaks fp16 — the dtype these tests
+# lower with (ascend-tiny is int-only, for example).
+_CONFIGS = [c for c in CORE_CONFIGS.values() if c.supports_dtype(FP16)]
+
+
+@contextmanager
+def _memo(enabled, monkeypatch):
+    monkeypatch.setenv("REPRO_LOWER_MEMO", "1" if enabled else "0")
+    clear_lowering_memo()
+    try:
+        yield
+    finally:
+        clear_lowering_memo()
+
+
+def _columns_identical(a, b):
+    ar, br = a._arena, b._arena
+    assert ar is not None and br is not None
+    assert ar.n == br.n
+    assert ar.tags == br.tags
+    for col in _COLUMN_NAMES:
+        x, y = getattr(ar, col), getattr(br, col)
+        if x.dtype.kind == "f":
+            assert np.array_equal(x, y, equal_nan=True), col
+        else:
+            assert np.array_equal(x, y), col
+    assert a.instructions == b.instructions
+
+
+class TestMemoEquivalence:
+    @pytest.mark.parametrize("config", _CONFIGS,
+                             ids=[c.name for c in _CONFIGS])
+    def test_gemm_memo_identical(self, config, monkeypatch):
+        with _memo(False, monkeypatch):
+            ref = [lower_gemm(96, 64, 80, config, tag="t")
+                   for _ in range(3)]
+        with _memo(True, monkeypatch):
+            reset_lowering_stats()
+            out = [lower_gemm(96, 64, 80, config, tag="t")
+                   for _ in range(3)]
+            assert lowering_stats()["memo_hits"] == 2
+        for a, b in zip(ref, out):
+            _columns_identical(a, b)
+        # Memo hits with the same tag share one arena object outright.
+        assert out[1]._arena is out[2]._arena
+
+    def test_int8_and_retag(self, monkeypatch):
+        config = _CONFIGS[0]
+        with _memo(True, monkeypatch):
+            first = lower_gemm(64, 64, 64, config, dtype=INT8,
+                               out_dtype=INT32, tag="alpha")
+            second = lower_gemm(64, 64, 64, config, dtype=INT8,
+                                out_dtype=INT32, tag="beta")
+        with _memo(False, monkeypatch):
+            fresh = lower_gemm(64, 64, 64, config, dtype=INT8,
+                               out_dtype=INT32, tag="beta")
+        assert second._arena.kind is first._arena.kind  # shared columns
+        _columns_identical(second, fresh)
+
+    def test_vector_memo_identical(self, monkeypatch):
+        config = _CONFIGS[0]
+        work = VectorWork(elems=4096, passes=2, dtype=FP16)
+        with _memo(False, monkeypatch):
+            ref = lower_vector_work(work, config, tag="v")
+        with _memo(True, monkeypatch):
+            lower_vector_work(work, config, tag="x")
+            hit = lower_vector_work(work, config, tag="v")
+        _columns_identical(ref, hit)
+
+    def test_workload_memo_identical_across_names(self, monkeypatch):
+        config = _CONFIGS[0]
+        base = dict(gemms=(GemmWork(m=96, k=96, n=96, dtype=FP16, count=3),),
+                    vector=(VectorWork(elems=2048, passes=1, dtype=FP16),))
+        w1 = OpWorkload(name="layer_0", **base)
+        w2 = OpWorkload(name="layer_7", **base)
+        with _memo(False, monkeypatch):
+            ref = lower_workload(w2, config)
+        with _memo(True, monkeypatch):
+            lower_workload(w1, config)
+            hit = lower_workload(w2, config)
+        # Name differs (tag differs) but the structure memo hits and the
+        # retagged result is identical to the fresh lowering.
+        _columns_identical(ref, hit)
+
+
+class TestMemoBypass:
+    def test_fault_campaign_bypasses_memo(self, monkeypatch):
+        from repro.reliability import ArenaFault, FaultPlan, fault_scope
+
+        config = _CONFIGS[0]
+        with _memo(True, monkeypatch):
+            lower_gemm(64, 64, 64, config, tag="t")
+            reset_lowering_stats()
+            # probability=0: plan never fires, but its presence must
+            # force a fresh lowering (no memo reads, no memo writes).
+            with fault_scope(FaultPlan(arena=ArenaFault(probability=0.0))):
+                program = lower_gemm(64, 64, 64, config, tag="t")
+            assert program is not None
+            assert lowering_stats()["memo_hits"] == 0
+
+    def test_env_disables_memo(self, monkeypatch):
+        config = _CONFIGS[0]
+        with _memo(False, monkeypatch):
+            reset_lowering_stats()
+            a = lower_gemm(64, 64, 64, config, tag="t")
+            b = lower_gemm(64, 64, 64, config, tag="t")
+            assert lowering_stats()["memo_hits"] == 0
+            assert a._arena is not b._arena
+            _columns_identical(a, b)

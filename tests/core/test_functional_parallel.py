@@ -185,6 +185,80 @@ class TestWavefrontStructure:
         assert trace.functional_instructions() == []
 
 
+class TestSerialCutover:
+    """Small kernels must dodge the thread pool entirely.
+
+    Below ``REPRO_FUNC_MIN_TILES`` functional tiles, a pool request is
+    demoted to the serial oracle — the executor costs more than the
+    numpy time it would overlap — and results are identical either way.
+    """
+
+    def _spied_pool(self, monkeypatch):
+        """Patch the executor used by ``_replay`` to count creations."""
+        import repro.core.core as core_mod
+
+        created = []
+        real = core_mod.ThreadPoolExecutor
+
+        class Spy(real):
+            def __init__(self, *a, **kw):
+                created.append(1)
+                super().__init__(*a, **kw)
+
+        monkeypatch.setattr(core_mod, "ThreadPoolExecutor", Spy)
+        return created
+
+    def _run_gemm(self, rng, workers):
+        m, k, n = 64, 64, 64
+        a = rng.standard_normal((m, k)).astype(np.float16)
+        b = rng.standard_normal((k, n)).astype(np.float16)
+        program = lower_gemm(m, k, n, ASCEND_MAX, layout=_LAYOUT)
+        core = AscendCore(ASCEND_MAX, gm_bytes=_GM_BYTES)
+        core.memory.write(Region(MemSpace.GM, 0, (m, k), FP16), a)
+        core.memory.write(Region(MemSpace.GM, 2 ** 19, (k, n), FP16), b)
+        trace = core.run(program, workers=workers).trace
+        return core, trace
+
+    def test_threshold_parsing(self, monkeypatch):
+        from repro.core import functional_min_tiles
+        from repro.errors import ConfigError
+
+        monkeypatch.delenv("REPRO_FUNC_MIN_TILES", raising=False)
+        assert functional_min_tiles() == 512
+        monkeypatch.setenv("REPRO_FUNC_MIN_TILES", "64")
+        assert functional_min_tiles() == 64
+        monkeypatch.setenv("REPRO_FUNC_MIN_TILES", "0")
+        assert functional_min_tiles() == 0
+        monkeypatch.setenv("REPRO_FUNC_MIN_TILES", "bogus")
+        with pytest.raises(ConfigError, match="REPRO_FUNC_MIN_TILES"):
+            functional_min_tiles()
+
+    def test_small_kernel_demoted_to_serial(self, rng, monkeypatch):
+        monkeypatch.delenv("REPRO_FUNC_MIN_TILES", raising=False)
+        created = self._spied_pool(monkeypatch)
+        _, trace = self._run_gemm(rng, workers=4)
+        # A 64^3 GEMM sits far below the 512-tile default cutover.
+        assert trace.n_functional() < 512
+        assert created == []  # no pool was ever constructed
+
+    def test_zero_threshold_engages_pool(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_FUNC_MIN_TILES", "0")
+        created = self._spied_pool(monkeypatch)
+        self._run_gemm(rng, workers=4)
+        assert created  # cutover disabled: pool request honored
+
+    def test_identical_results_either_side_of_cutover(self, rng, monkeypatch):
+        seed_state = rng.integers(0, 2 ** 31)
+        states = []
+        for threshold in ("1000000", "0"):
+            monkeypatch.setenv("REPRO_FUNC_MIN_TILES", threshold)
+            local = np.random.default_rng(int(seed_state))
+            core, _ = self._run_gemm(local, workers=4)
+            states.append(_full_state(core))
+        for space, expected in states[0].items():
+            assert np.array_equal(states[1][space], expected), space.name
+
+
 class TestWorkerResolution:
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_FUNC_WORKERS", "8")
