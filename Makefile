@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-equiv test-faults bench bench-speed bench-gate \
-	profile-smoke ci
+	profile-smoke predict-smoke ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -39,7 +39,17 @@ profile-smoke:
 		--chrome-trace $${TMPDIR:-/tmp}/repro_profile_smoke.json \
 		--manifest $${TMPDIR:-/tmp}/repro_profile_smoke.manifest.json
 
+# Predictor smoke: fixed-seed micro-train of the learned cycle
+# predictor plus one validated 200-candidate triage sweep; fails unless
+# held-out MAPE <= 15%, the triage tier is >= 10x faster end-to-end
+# than simulate-everything, and the true top-5 designs all land in the
+# simulated shortlist.
+predict-smoke:
+	$(PY) -m repro.perf.predictor smoke
+
 # CI gate: the tier-1 suite, the equivalence suites, the
 # fault-injection smoke suite, a ~10 s simulator-speed smoke run, the
-# cold-compile perf gate, and the profiling CLI smoke run.
-ci: test test-equiv test-faults bench-speed bench-gate profile-smoke
+# cold-compile perf gate, the predictor fast-tier smoke gate, and the
+# profiling CLI smoke run.
+ci: test test-equiv test-faults bench-speed bench-gate predict-smoke \
+	profile-smoke

@@ -5,10 +5,13 @@ utilization» — compare a 16x16x16 and a 4x16x16 cube on MobileNet's
 batch-1 pointwise convolutions, plus the DVFS energy ladder.
 """
 
+import pytest
+
 from repro.analysis import ascii_table
 from repro.compiler import GraphEngine
 from repro.config import ASCEND_LITE, ASCEND_MAX
 from repro.models import build_model
+from repro.perf.predictor.settings import predict_enabled
 from repro.soc import MobileSoc
 
 
@@ -48,3 +51,27 @@ def test_dvfs_ladder_energy(report, benchmark):
     latencies = [l for _, l, _ in curve]
     assert energies[0] < energies[-1]  # eco point wins energy
     assert latencies[0] > latencies[-1]  # boost point wins latency
+
+
+def test_cube_m_dse_via_predictor(report):
+    """Opt-in (``REPRO_PREDICT=1``): explore cube-m design perturbations
+    of the Max core on batch-1 MobileNet through the learned fast tier
+    instead of simulating all of them; the winner is still a simulated
+    number (triage contract)."""
+    if not predict_enabled():
+        pytest.skip("REPRO_PREDICT off (default): ablation rows are "
+                    "always fully simulated")
+    from repro.perf.predictor.sweep import triage_design_sweep
+    from repro.perf.predictor.train import load_artifact
+
+    predictor, _ = load_artifact()
+    sweep = triage_design_sweep(predictor, model="mobilenet_v2",
+                                kwargs={"batch": 1}, base_core="ascend-max",
+                                n_candidates=48, seed=2)
+    assert sweep.best_index in sweep.simulated
+    assert len(sweep.shortlist) < len(sweep.candidates)
+    report("ablation_cube_m_dse", ascii_table(
+        ["candidates", "simulated", "best design", "simulated cyc"],
+        [[len(sweep.candidates), len(sweep.shortlist),
+          sweep.best_config, f"{sweep.best_cycles:,.0f}"]],
+        title="Cube-m DSE via the learned fast tier (REPRO_PREDICT=1)"))

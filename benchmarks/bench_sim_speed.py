@@ -1,6 +1,6 @@
 """Simulator performance trajectory: compile, trace-query and replay speed.
 
-Four measurements per run:
+Five measurements per run:
 
 * **compile** — ``GraphEngine.compile_graph`` for ResNet-50 and
   BERT-Base on two core design points, each in a *fresh* subprocess so
@@ -17,6 +17,10 @@ Four measurements per run:
   full-trace ``schedule()`` over the ResNet-50 program corpus, the
   macro number fast NPU simulators (ONNXim, SCALE-Sim — recorded as
   reference lines) publish.
+* **predictor fast tier** — micro-train the learned cycle predictor and
+  run one validated triage sweep: train seconds, held-out MAPE/P95,
+  inference microseconds per candidate config, shortlist size, top-5
+  hit rate, and the end-to-end triage speedup over simulate-everything.
 
 Each entry also records a **cold-phase breakdown** — seconds spent in
 lower / validate / cost / schedule over every unique workload of each
@@ -353,9 +357,54 @@ def measure_functional(workers: int = 4) -> dict:
             "auto_serial": n_tiles < min_tiles, **seconds}
 
 
+def measure_predictor(candidates: int = 60, variants: int = 8,
+                      rounds: int = 40) -> dict:
+    """Learned fast-tier trajectory metrics: train cost, accuracy,
+    inference latency, and triage effectiveness.
+
+    A deliberately tiny fixed-seed recipe (two small models, ``variants``
+    design points per core) so the section costs seconds, not the full
+    ``predict-smoke`` budget; the hard accuracy/speedup gates live in
+    ``python -m repro.perf.predictor smoke``.  ``hit_rate`` is the
+    fraction of the true (fully simulated) top-5 designs the predictor's
+    shortlist captured.
+    """
+    from repro.perf.predictor.sweep import (clear_memo_tiers,
+                                            triage_design_sweep)
+    from repro.perf.predictor.train import train_predictor
+
+    report = train_predictor(
+        seed=0, corpus=(("gesture", {}), ("wide_deep", {})),
+        variants_per_core=variants, rounds=rounds)
+    clear_memo_tiers()
+    sweep = triage_design_sweep(
+        report.predictor, model="gesture", base_core="ascend-lite",
+        n_candidates=candidates, top_k=8, epsilon=0.05, seed=1,
+        validate=True)
+    gate = sweep.gate
+    order = sorted(range(len(sweep.full_simulated)),
+                   key=lambda i: (sweep.full_simulated[i], i))
+    top5 = order[:5]
+    shortlist = set(sweep.shortlist)
+    return {
+        "train_s": round(report.train_seconds, 3),
+        "samples": report.n_samples,
+        "mape": round(report.holdout_mape, 4),
+        "p95": round(report.holdout_p95, 4),
+        "sweep_mape": round(gate["mape"], 4),
+        "infer_us_per_config": round(
+            sweep.predict_seconds / candidates * 1e6, 1),
+        "candidates": candidates,
+        "shortlist": len(sweep.shortlist),
+        "hit_rate": round(sum(i in shortlist for i in top5) / len(top5), 2),
+        "speedup": gate["speedup"],
+    }
+
+
 def measure(smoke: bool = False) -> dict:
-    """Cold + warm compile across fresh processes, plus trace-aggregation
-    and functional-execution timings in this process."""
+    """Cold + warm compile across fresh processes, plus trace-aggregation,
+    functional-execution, and predictor fast-tier timings in this
+    process."""
     jobs = _SMOKE_JOBS if smoke else _FULL_JOBS
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
         cold = _run_child(jobs, cache)
@@ -375,6 +424,7 @@ def measure(smoke: bool = False) -> dict:
         "trace_agg": measure_trace_aggregation(),
         "functional": measure_functional(),
         "events_per_sec": measure_events_per_sec(),
+        "predictor": measure_predictor(),
         "references": _REFERENCES,
     }
 
@@ -388,8 +438,17 @@ _GATE_PHASES = ("lower_s", "validate_s", "cost_s", "schedule_s")
 
 
 def _latest_baseline(history, extract):
-    """Newest trajectory entry for which ``extract`` yields a value."""
+    """Newest *full* trajectory entry for which ``extract`` yields a value.
+
+    Smoke entries (``"smoke": true``) are recorded by the CI smoke runs
+    under whatever load the CI box happens to be under; ratcheting
+    against them would let one noisy smoke run relax (or tighten) the
+    gate for every later commit, so only full measurement runs count as
+    baselines.
+    """
     for entry in reversed(history):
+        if entry.get("smoke"):
+            continue
         value = extract(entry)
         if value is not None:
             return entry.get("timestamp", "?"), value
@@ -520,6 +579,17 @@ def _render(entry: dict) -> str:
             f"  throughput ({eps['corpus']}): {eps['events']} events / "
             f"{eps['seconds']:.3f}s = {eps['events_per_sec']:,} events/sec "
             f"(median of {eps['reps']})")
+    pred = entry.get("predictor")
+    if pred:
+        lines.append(
+            f"  predictor: train {pred['train_s']:.2f}s "
+            f"({pred['samples']} samples)  holdout MAPE {pred['mape']:.1%}  "
+            f"P95 {pred['p95']:.1%}  infer {pred['infer_us_per_config']:.0f}"
+            f"us/config")
+        lines.append(
+            f"  predictor triage: {pred['shortlist']}/{pred['candidates']} "
+            f"simulated  top-5 hit rate {pred['hit_rate']:.0%}  "
+            f"speedup {pred['speedup']}x  sweep MAPE {pred['sweep_mape']:.1%}")
     return "\n".join(lines)
 
 
@@ -540,6 +610,12 @@ def test_sim_speed_smoke(report):
     # Parallel functional replay is about throughput, never numerics.
     assert entry["functional"]["identical"], entry
     assert entry["events_per_sec"]["events_per_sec"] > 0, entry
+    # Predictor section: loose sanity floors only — the hard accuracy
+    # and speedup gates run in `python -m repro.perf.predictor smoke`.
+    pred = entry["predictor"]
+    assert pred["mape"] < 0.5, entry
+    assert pred["speedup"] and pred["speedup"] > 1, entry
+    assert pred["shortlist"] < pred["candidates"], entry
 
 
 def main(argv=None) -> int:

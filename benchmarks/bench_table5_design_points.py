@@ -6,8 +6,16 @@ Section 2.3 sizing rules against simulated workloads:
 * the vector unit must not bottleneck the cube on each core's *typical*
   workload (ratio >= ~1 on the workload the core is sized for);
 * L1 bus demand must fit the provisioned widths.
+
+With ``REPRO_PREDICT=1`` (and a trained artifact) an extra
+design-space exploration runs around each Table 5 anchor through the
+learned fast tier: predict every candidate perturbation, simulate only
+the shortlist, and report the best *simulated* design per anchor.  Off
+by default — the published Table 5 rows above never touch the
+predictor and are byte-identical with it disabled.
 """
 
+import pytest
 from ratio_common import ratio_figure
 
 from repro.analysis import ascii_table
@@ -15,6 +23,7 @@ from repro.bench import run_sweep
 from repro.compiler import GraphEngine
 from repro.config import CORE_CONFIGS, core_config_by_name
 from repro.models import build_model
+from repro.perf.predictor.settings import predict_enabled
 
 # (core, model, model kwargs) — the workload each design point is sized
 # for (Section 2.3).
@@ -66,3 +75,43 @@ def test_table5_design_points(report, benchmark):
     for config_name, model_name, median in run_sweep(_TYPICAL,
                                                      _typical_median_ratio):
         assert median >= 0.9, (config_name, model_name, median)
+
+
+# (anchor core, model, kwargs) — the predictor-triaged DSE surface.
+_DSE_ANCHORS = [
+    ("ascend-lite", "gesture", {}),
+    ("ascend", "mobilenet_v2", {"batch": 1}),
+]
+
+
+def test_table5_predictor_dse(report):
+    """Opt-in fast-tier exploration around the Table 5 anchors.
+
+    Requires ``REPRO_PREDICT=1`` plus a trained artifact
+    (``python -m repro.perf.predictor train``); skipped otherwise so the
+    default benchmark run never consults the predictor.
+    """
+    if not predict_enabled():
+        pytest.skip("REPRO_PREDICT off (default): Table 5 rows are "
+                    "always fully simulated")
+    from repro.perf.predictor.sweep import triage_design_sweep
+    from repro.perf.predictor.train import load_artifact
+
+    predictor, _ = load_artifact()
+    rows = []
+    for core, model, kwargs in _DSE_ANCHORS:
+        sweep = triage_design_sweep(predictor, model=model, kwargs=kwargs,
+                                    base_core=core, n_candidates=64, seed=1)
+        # Triage contract: the winner is a *simulated* number.
+        assert sweep.best_index in sweep.simulated
+        assert len(sweep.shortlist) < len(sweep.candidates)
+        rows.append([
+            f"{model}@{core}", len(sweep.candidates), len(sweep.shortlist),
+            sweep.best_config, f"{sweep.best_cycles:,.0f}",
+            f"{sweep.predicted[sweep.best_index]:,.0f}",
+        ])
+    report("table5_predictor_dse", ascii_table(
+        ["anchor", "candidates", "simulated", "best design",
+         "simulated cyc", "predicted cyc"],
+        rows, title="Table 5 DSE via the learned fast tier "
+                    "(REPRO_PREDICT=1)"))

@@ -1,5 +1,7 @@
-"""Benchmark-harness utilities (parallel sweep execution)."""
+"""Benchmark-harness utilities (parallel and triaged sweep execution)."""
 
 from .runner import run_sweep, sweep_workers
+from .triage import TriageResult, shortlist_indices, triage_sweep
 
-__all__ = ["run_sweep", "sweep_workers"]
+__all__ = ["run_sweep", "sweep_workers", "triage_sweep", "TriageResult",
+           "shortlist_indices"]

@@ -1,0 +1,98 @@
+"""Predictor-triaged sweeps: simulate only a shortlist of candidates.
+
+:func:`triage_sweep` is the fast-tier counterpart of
+:func:`~repro.bench.runner.run_sweep`: given per-job *predicted* scores
+(lower is better — cycles, latency), it keeps the top-K plus everything
+within ``(1 + epsilon)`` of the predicted best, runs the real worker on
+that shortlist only (through ``run_sweep``, so the warm-cache seeding
+and fork-aware stats plumbing apply unchanged), and returns results
+aligned with the original job order — ``None`` where a candidate was
+triaged away.
+
+The triage contract: predicted scores only ever *rank*; any number that
+leaves a sweep (a published table row, a chosen design point) comes
+from the event engine via the shortlist.  Callers verify that with the
+``predicted_vs_simulated`` report the predictor sweeps emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+from .runner import run_sweep
+
+__all__ = ["TriageResult", "triage_sweep", "shortlist_indices"]
+
+_J = TypeVar("_J")
+_R = TypeVar("_R")
+
+
+@dataclass
+class TriageResult:
+    """Outcome of one triaged sweep, aligned with the input job order."""
+
+    predicted: List[float]
+    shortlist: List[int]               # indices simulated, ascending
+    results: List[Optional[object]]    # worker result, or None if skipped
+
+    @property
+    def simulated(self) -> int:
+        return len(self.shortlist)
+
+    @property
+    def skipped(self) -> int:
+        return len(self.predicted) - len(self.shortlist)
+
+
+def shortlist_indices(predicted: Sequence[float], top_k: int,
+                      epsilon: float) -> List[int]:
+    """Top-K by predicted score plus the (1 + epsilon) near-tie window.
+
+    Deterministic: ties in the predicted score resolve by job index
+    (stable sort), so the same predictions always shortlist the same
+    candidates.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    if epsilon < 0:
+        raise ValueError("epsilon must be >= 0")
+    order = sorted(range(len(predicted)), key=lambda i: (predicted[i], i))
+    keep = set(order[:top_k])
+    if order:
+        cutoff = predicted[order[0]] * (1.0 + epsilon)
+        keep.update(i for i in order if predicted[i] <= cutoff)
+    return sorted(keep)
+
+
+def triage_sweep(jobs: Sequence[_J], worker: Callable[[_J], _R],
+                 predicted: Union[Sequence[float], Callable[[_J], float]],
+                 top_k: Optional[int] = None,
+                 epsilon: Optional[float] = None,
+                 max_workers: Optional[int] = None,
+                 warm: Optional[Callable[[], object]] = None) -> TriageResult:
+    """Run ``worker`` on the predicted-best shortlist of ``jobs`` only.
+
+    ``predicted`` is either one score per job (lower is better) or a
+    callable evaluated per job.  ``top_k`` / ``epsilon`` default to the
+    ``REPRO_PREDICT_TOPK`` / ``REPRO_PREDICT_EPSILON`` knobs.
+    """
+    from ..perf.predictor.settings import predict_epsilon, predict_top_k
+
+    job_list = list(jobs)
+    scores = ([float(predicted(job)) for job in job_list]
+              if callable(predicted)
+              else [float(s) for s in predicted])
+    if len(scores) != len(job_list):
+        raise ValueError(
+            f"{len(scores)} predictions for {len(job_list)} jobs")
+    keep = shortlist_indices(
+        scores,
+        top_k if top_k is not None else predict_top_k(),
+        epsilon if epsilon is not None else predict_epsilon())
+    simulated = run_sweep([job_list[i] for i in keep], worker,
+                          max_workers=max_workers, warm=warm)
+    results: List[Optional[object]] = [None] * len(job_list)
+    for index, result in zip(keep, simulated):
+        results[index] = result
+    return TriageResult(predicted=scores, shortlist=keep, results=results)

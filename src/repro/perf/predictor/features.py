@@ -1,0 +1,311 @@
+"""Deterministic per-layer features for the cycle predictor.
+
+Two extractors live here:
+
+* :func:`layer_features` — the *predictive* feature vector: everything
+  knowable **without simulating** — workload structure
+  (:class:`~repro.graph.workload.OpWorkload`), Table 5 design-point
+  parameters, and cheap analytic per-resource cycle estimates (the
+  roofline hints the model refines).  This is what the fast tier
+  evaluates for thousands of candidate configurations.
+* :func:`counters_feature_columns` — the *observed* columns of a
+  :class:`~repro.profiling.counters.PerfCounters` registry (instruction
+  mix, route matrix, flag-wait histograms) for training-set diagnostics
+  and feature-matrix exports.
+
+Determinism is part of the contract: every dict-shaped counter table
+(kinds, routes, interned flag channels) is **sorted by key before
+export**, so two identical runs produce byte-identical feature matrices
+regardless of dict insertion order — pinned by
+``tests/perf/test_predictor_features.py`` and relied on by the
+content-addressed artifact keys.
+
+``FEATURE_SCHEMA_VERSION`` is baked into artifacts and digests: bump it
+whenever the name list, ordering, or any formula changes, so stale
+models are a clean mismatch instead of silently misread columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...config.core_configs import CoreConfig
+from ...graph.workload import OpWorkload
+
+__all__ = [
+    "FEATURE_SCHEMA_VERSION",
+    "feature_names",
+    "layer_features",
+    "model_feature_matrix",
+    "graph_feature_matrix",
+    "features_digest",
+    "counters_feature_columns",
+    "counters_feature_matrix",
+]
+
+# Bump on any change to the name list, ordering, or a feature formula.
+FEATURE_SCHEMA_VERSION = 1
+
+# Sentinel bytes/cycle for cores with no fabric limit (Table 5 "N/A"):
+# large enough that the estimate is ~0 cycles and the log feature
+# saturates, small enough to stay finite.
+_UNLIMITED_BPC = 1e9
+
+_NAMES: Tuple[str, ...] = (
+    # Workload structure (log1p domain).
+    "log_macs",
+    "log_cube_tiles",
+    "log_a_bytes",
+    "log_b_bytes",
+    "log_c_elems",
+    "log_vec_elem_passes",
+    "log_vec_bytes",
+    "log_weight_bytes",
+    "log_input_bytes",
+    "log_output_bytes",
+    # Analytic per-resource cycle estimates (log1p domain).
+    "log_est_max",
+    "log_est_second",
+    "log_est_sum",
+    "log_est_cube",
+    "log_est_vector",
+    "log_est_mte2",
+    "log_est_l1a",
+    "log_est_l1b",
+    "log_est_mte3",
+    "log_est_ub",
+    # Balance / utilization ratios (unitless).
+    "est_balance",        # second-busiest / busiest resource estimate
+    "est_dominance",      # busiest / sum of estimates
+    "mac_utilization",    # MACs / (tiles * cube MACs-per-cycle)
+    "tile_density_min",   # worst per-GEMM padding density
+    "tile_density_max",
+    "a_bytes_scale",
+    # Dominant-GEMM shape (log1p domain; zeros for pure-vector layers).
+    "log_gemm_m_max",
+    "log_gemm_k_max",
+    "log_gemm_n_max",
+    "log_gemm_m_min",
+    "log_gemm_k_min",
+    "log_gemm_n_min",
+    "gemm_dtype_bytes",
+    # Design-point parameters (Table 5 fields).
+    "freq_ghz",
+    "log2_cube_m",
+    "log2_cube_k",
+    "log2_cube_n",
+    "log_vector_width",
+    "log_l1a_bpc",
+    "log_l1b_bpc",
+    "log_ub_bpc",
+    "log_llc_bpc",
+    "log_l1_bytes",
+    "log_l0a_bytes",
+    "log_ub_bytes",
+    "duplex_ub_vector",
+    # Structure counts.
+    "n_gemms",
+    "n_vector_works",
+)
+
+
+def feature_names() -> Tuple[str, ...]:
+    """The stable, ordered feature-name tuple (schema-versioned)."""
+    return _NAMES
+
+
+def layer_features(work: OpWorkload, config: CoreConfig,
+                   a_bytes_scale: float = 1.0) -> np.ndarray:
+    """One float64 feature row for (workload, design point).
+
+    Pure function of its arguments — no simulator state, no caches, no
+    randomness — so identical inputs produce byte-identical rows.
+    """
+    cube = config.cube
+    tiles = 0
+    macs = 0
+    a_bytes = b_bytes = c_elems = 0
+    m_shapes: List[int] = []
+    k_shapes: List[int] = []
+    n_shapes: List[int] = []
+    densities: List[float] = []
+    dtype_bytes = 0.0
+    dominant_macs = -1
+    for gemm in work.gemms:
+        tm = -(-gemm.m // cube.m)
+        tk = -(-gemm.k // cube.k)
+        tn = -(-gemm.n // cube.n)
+        tiles += tm * tk * tn * gemm.count
+        macs += gemm.macs
+        a_bytes += gemm.a_bytes
+        b_bytes += gemm.b_bytes
+        c_elems += gemm.c_elems
+        m_shapes.append(gemm.m)
+        k_shapes.append(gemm.k)
+        n_shapes.append(gemm.n)
+        padded = (tm * cube.m) * (tk * cube.k) * (tn * cube.n)
+        densities.append(gemm.m * gemm.k * gemm.n / padded)
+        if gemm.macs > dominant_macs:
+            dominant_macs = gemm.macs
+            dtype_bytes = float(gemm.dtype.bytes)
+
+    vec_passes = sum(v.elem_passes for v in work.vector)
+    vec_bytes = sum(v.bytes_processed for v in work.vector)
+
+    l1a_bpc = config.l1_to_l0a_bytes_per_cycle
+    l1b_bpc = config.l1_to_l0b_bytes_per_cycle
+    ub_bpc = config.ub_bytes_per_cycle
+    llc_bpc = config.llc_bytes_per_cycle or _UNLIMITED_BPC
+
+    # Analytic per-resource occupancy estimates, in cycles: the roofline
+    # bounds the learned model starts from and corrects.
+    est_cube = float(tiles)
+    est_vector = vec_passes / max(1.0, config.vector_width_bytes / 2)
+    est_mte2 = (work.input_bytes * a_bytes_scale + work.weight_bytes) / llc_bpc
+    est_l1a = a_bytes / l1a_bpc
+    est_l1b = b_bytes / l1b_bpc
+    est_mte3 = work.output_bytes / llc_bpc
+    est_ub = vec_bytes / ub_bpc
+    ests = sorted((est_cube, est_vector, est_mte2, est_l1a, est_l1b,
+                   est_mte3, est_ub))
+    est_max, est_second = ests[-1], ests[-2]
+    est_sum = sum(ests)
+
+    log1p = math.log1p
+    row = [
+        log1p(macs),
+        log1p(tiles),
+        log1p(a_bytes),
+        log1p(b_bytes),
+        log1p(c_elems),
+        log1p(vec_passes),
+        log1p(vec_bytes),
+        log1p(work.weight_bytes),
+        log1p(work.input_bytes),
+        log1p(work.output_bytes),
+        log1p(est_max),
+        log1p(est_second),
+        log1p(est_sum),
+        log1p(est_cube),
+        log1p(est_vector),
+        log1p(est_mte2),
+        log1p(est_l1a),
+        log1p(est_l1b),
+        log1p(est_mte3),
+        log1p(est_ub),
+        est_second / est_max if est_max else 0.0,
+        est_max / est_sum if est_sum else 0.0,
+        macs / max(1.0, tiles * cube.macs_per_cycle),
+        min(densities) if densities else 0.0,
+        max(densities) if densities else 0.0,
+        float(a_bytes_scale),
+        log1p(max(m_shapes)) if m_shapes else 0.0,
+        log1p(max(k_shapes)) if k_shapes else 0.0,
+        log1p(max(n_shapes)) if n_shapes else 0.0,
+        log1p(min(m_shapes)) if m_shapes else 0.0,
+        log1p(min(k_shapes)) if k_shapes else 0.0,
+        log1p(min(n_shapes)) if n_shapes else 0.0,
+        dtype_bytes,
+        config.frequency_hz / 1e9,
+        math.log2(cube.m),
+        math.log2(cube.k),
+        math.log2(cube.n),
+        log1p(config.vector_width_bytes),
+        log1p(l1a_bpc),
+        log1p(l1b_bpc),
+        log1p(ub_bpc),
+        log1p(llc_bpc),
+        log1p(config.l1_bytes),
+        log1p(config.l0a_bytes),
+        log1p(config.ub_bytes),
+        float(config.duplex_ub_vector),
+        float(len(work.gemms)),
+        float(len(work.vector)),
+    ]
+    assert len(row) == len(_NAMES)
+    return np.asarray(row, dtype=np.float64)
+
+
+def model_feature_matrix(pairs: Sequence[Tuple[str, OpWorkload]],
+                         config: CoreConfig,
+                         scales: Optional[Mapping[str, float]] = None
+                         ) -> np.ndarray:
+    """Stack :func:`layer_features` for a model's grouped workloads."""
+    scales = scales or {}
+    if not pairs:
+        return np.empty((0, len(_NAMES)), dtype=np.float64)
+    return np.vstack([
+        layer_features(work, config, scales.get(group, 1.0))
+        for group, work in pairs
+    ])
+
+
+def graph_feature_matrix(graph, config: CoreConfig) -> np.ndarray:
+    """Feature matrix for a model graph (im2col GM scales included)."""
+    from ...compiler.graph_engine import _im2col_scales
+
+    return model_feature_matrix(list(graph.grouped_workloads()), config,
+                                _im2col_scales(graph))
+
+
+def features_digest(matrix: np.ndarray) -> str:
+    """Content hash of a feature matrix (schema + shape + raw bytes)."""
+    digest = hashlib.sha256()
+    digest.update(f"v{FEATURE_SCHEMA_VERSION}:{matrix.shape}".encode())
+    digest.update(np.ascontiguousarray(matrix, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+# -- observed-counter columns -------------------------------------------------
+
+def counters_feature_columns(counters) -> "Dict[str, float]":
+    """Flatten a :class:`PerfCounters` into named numeric columns.
+
+    Every dict-shaped table — instruction kinds, the route matrix, the
+    interned flag-channel histograms — is sorted by key before export,
+    so column order depends only on *content*, never on the insertion
+    order of merges.  The returned dict preserves that deterministic
+    order (plain dicts are insertion-ordered).
+    """
+    from ...isa.pipes import Pipe
+
+    cols: Dict[str, float] = {}
+    for name in ("total_cycles", "events", "l1_read_bytes",
+                 "l1_write_bytes", "gm_read_bytes", "gm_write_bytes",
+                 "ub_read_bytes", "ub_write_bytes", "traces", "layers"):
+        cols[name] = float(getattr(counters, name))
+    cols["stall_cycles"] = float(counters.stall_cycles)
+    for pipe in Pipe:
+        cols[f"busy[{pipe.name}]"] = float(counters.busy_by_pipe[int(pipe)])
+    for pipe in Pipe:
+        cols[f"wait[{pipe.name}]"] = float(counters.wait_by_pipe[int(pipe)])
+    for kind in sorted(counters.kind_events):
+        cols[f"kind[{kind}]"] = float(counters.kind_events[kind])
+    for route in sorted(counters.route_bytes):
+        cols[f"route[{route}]"] = float(counters.route_bytes[route])
+    for channel in sorted(counters.flag_waits):
+        waits, stalled = counters.flag_waits[channel]
+        cols[f"waits[{channel}]"] = float(waits)
+        cols[f"stalled[{channel}]"] = float(stalled)
+    return cols
+
+
+def counters_feature_matrix(samples: Iterable) -> Tuple[List[str], np.ndarray]:
+    """Align many counters into one (names, matrix) pair.
+
+    The column set is the sorted union of every sample's columns;
+    samples missing a column get 0.0 there.  Deterministic for the same
+    multiset of counters regardless of iteration interleaving.
+    """
+    flats = [counters_feature_columns(c) for c in samples]
+    names = sorted(set().union(*flats)) if flats else []
+    matrix = np.zeros((len(flats), len(names)), dtype=np.float64)
+    for i, flat in enumerate(flats):
+        for j, name in enumerate(names):
+            if name in flat:
+                matrix[i, j] = flat[name]
+    return names, matrix

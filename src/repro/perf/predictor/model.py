@@ -1,0 +1,239 @@
+"""The pure-numpy cycle model: ridge + gradient-boosted stumps.
+
+Cycle counts span five orders of magnitude across the zoo, so the model
+works in log-cycles: a closed-form ridge regression over standardized
+features captures the (log-linear) roofline backbone, then shallow
+gradient-boosted decision stumps fit what the linear stage cannot —
+threshold effects like "quantization waste only bites below one tile
+row".  Everything is deterministic: the stump search scans features in
+index order with strict-improvement tie-breaking and uses a fixed
+quantile grid, so the same training matrix always yields the same model
+(and therefore the same content key).
+
+Serialization is plain JSON (:meth:`CyclePredictor.to_dict` /
+``from_dict``): a loaded model predicts bit-identically to the fitted
+one, which the artifact round-trip test pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from .features import FEATURE_SCHEMA_VERSION
+
+__all__ = ["CyclePredictor", "mape", "p95_relative_error"]
+
+# Bump when the model layout / serialization payload changes.
+MODEL_SCHEMA_VERSION = 1
+
+# Quantile grid the stump search considers per feature.
+_SPLIT_GRID = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+_MIN_LEAF = 8
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error (actual as denominator)."""
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(predicted - actual)
+                         / np.maximum(np.abs(actual), 1.0)))
+
+
+def p95_relative_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.size == 0:
+        return 0.0
+    rel = np.abs(predicted - actual) / np.maximum(np.abs(actual), 1.0)
+    return float(np.quantile(rel, 0.95))
+
+
+@dataclass
+class _Stump:
+    """One boosted split on a standardized feature column."""
+
+    feature: int
+    threshold: float
+    left: float     # mean residual where column <= threshold
+    right: float
+
+
+@dataclass
+class CyclePredictor:
+    """Ridge + boosted-stump regressor over the layer feature schema."""
+
+    feature_schema: int = FEATURE_SCHEMA_VERSION
+    n_features: int = 0
+    lam: float = 0.1
+    rounds: int = 150
+    learning_rate: float = 0.2
+    # Fitted state.
+    mean: Optional[np.ndarray] = None
+    scale: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+    y_mean: float = 0.0
+    stumps: List[_Stump] = field(default_factory=list)
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, cycles: np.ndarray) -> "CyclePredictor":
+        """Fit on raw feature rows and observed cycle counts."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.log(np.maximum(np.asarray(cycles, dtype=np.float64), 1.0))
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("need a non-empty (n, f) matrix and n targets")
+        self.n_features = X.shape[1]
+        self.mean = X.mean(axis=0)
+        self.scale = X.std(axis=0)
+        self.scale[self.scale == 0] = 1.0
+        Xs = (X - self.mean) / self.scale
+        self.y_mean = float(y.mean())
+        gram = Xs.T @ Xs + self.lam * np.eye(self.n_features)
+        self.weights = np.linalg.solve(gram, Xs.T @ (y - self.y_mean))
+        residual = y - (Xs @ self.weights + self.y_mean)
+        self.stumps = self._fit_stumps(Xs, residual)
+        return self
+
+    def _fit_stumps(self, Xs: np.ndarray, residual: np.ndarray
+                    ) -> List[_Stump]:
+        """Greedy boosted stumps on the ridge residual, fully vectorized.
+
+        Per feature the candidate thresholds are fixed quantiles of the
+        training column; per round the best (feature, threshold) is the
+        one with the largest SSE reduction, features scanned in index
+        order with strict ``>`` so ties resolve deterministically.
+        """
+        n, n_feat = Xs.shape
+        if n < 2 * _MIN_LEAF:
+            return []
+        # Per feature: sort order once; thresholds once.
+        orders = np.argsort(Xs, axis=0, kind="stable")
+        thresholds = np.quantile(Xs, _SPLIT_GRID, axis=0)  # (grid, feat)
+        # Position of each threshold in the sorted column = left count.
+        left_counts = np.empty((len(_SPLIT_GRID), n_feat), dtype=np.int64)
+        for j in range(n_feat):
+            col_sorted = Xs[orders[:, j], j]
+            left_counts[:, j] = np.searchsorted(col_sorted,
+                                                thresholds[:, j], side="right")
+        valid = (left_counts >= _MIN_LEAF) & (left_counts <= n - _MIN_LEAF)
+
+        r = residual.copy()
+        stumps: List[_Stump] = []
+        lr = self.learning_rate
+        for _ in range(self.rounds):
+            best_gain = 0.0
+            best: Optional[Tuple[int, float, float, float]] = None
+            total = float(r.sum())
+            for j in range(n_feat):
+                if not valid[:, j].any():
+                    continue
+                prefix = np.concatenate(
+                    ([0.0], np.cumsum(r[orders[:, j]])))
+                counts = left_counts[:, j]
+                left_sum = prefix[counts]
+                right_sum = total - left_sum
+                left_n = counts
+                right_n = n - counts
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    gain = np.where(
+                        valid[:, j],
+                        left_sum ** 2 / np.maximum(left_n, 1)
+                        + right_sum ** 2 / np.maximum(right_n, 1),
+                        -np.inf)
+                g = int(np.argmax(gain))
+                if gain[g] > best_gain:
+                    best_gain = float(gain[g])
+                    best = (j, float(thresholds[g, j]),
+                            float(left_sum[g] / left_n[g]),
+                            float(right_sum[g] / right_n[g]))
+            if best is None:
+                break
+            j, thr, left, right = best
+            contrib = np.where(Xs[:, j] <= thr, lr * left, lr * right)
+            r -= contrib
+            stumps.append(_Stump(j, thr, left, right))
+        return stumps
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_log(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("predictor is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"feature width {X.shape[1]} != trained {self.n_features}")
+        Xs = (X - self.mean) / self.scale
+        log_pred = Xs @ self.weights + self.y_mean
+        lr = self.learning_rate
+        for stump in self.stumps:
+            log_pred += np.where(Xs[:, stump.feature] <= stump.threshold,
+                                 lr * stump.left, lr * stump.right)
+        return log_pred
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted cycle counts (float, >= 1) for raw feature rows."""
+        return np.exp(self.predict_log(X))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        if self.weights is None:
+            raise ValueError("predictor is not fitted")
+        return {
+            "schema": MODEL_SCHEMA_VERSION,
+            "feature_schema": self.feature_schema,
+            "n_features": self.n_features,
+            "lam": self.lam,
+            "rounds": self.rounds,
+            "learning_rate": self.learning_rate,
+            "mean": self.mean.tolist(),
+            "scale": self.scale.tolist(),
+            "weights": self.weights.tolist(),
+            "y_mean": self.y_mean,
+            "stumps": [[s.feature, s.threshold, s.left, s.right]
+                       for s in self.stumps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CyclePredictor":
+        if payload.get("schema") != MODEL_SCHEMA_VERSION:
+            raise ConfigError(
+                f"predictor artifact schema {payload.get('schema')!r} does "
+                f"not match this build's {MODEL_SCHEMA_VERSION}")
+        if payload.get("feature_schema") != FEATURE_SCHEMA_VERSION:
+            raise ConfigError(
+                f"predictor feature schema {payload.get('feature_schema')!r} "
+                f"does not match this build's {FEATURE_SCHEMA_VERSION}; "
+                "retrain the model")
+        predictor = cls(
+            feature_schema=int(payload["feature_schema"]),
+            n_features=int(payload["n_features"]),
+            lam=float(payload["lam"]),
+            rounds=int(payload["rounds"]),
+            learning_rate=float(payload["learning_rate"]),
+        )
+        predictor.mean = np.asarray(payload["mean"], dtype=np.float64)
+        predictor.scale = np.asarray(payload["scale"], dtype=np.float64)
+        predictor.weights = np.asarray(payload["weights"], dtype=np.float64)
+        predictor.y_mean = float(payload["y_mean"])
+        predictor.stumps = [
+            _Stump(int(f), float(t), float(l), float(r))
+            for f, t, l, r in payload.get("stumps", [])
+        ]
+        return predictor
+
+    def content_key(self) -> str:
+        """sha256 over the canonical serialized model — the artifact's
+        content-addressed cache key."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,222 @@
+"""Seeded training harness for the cycle predictor.
+
+``python -m repro.perf.predictor train`` drives this end to end:
+collect the dataset (model zoo x design-point variants, through the
+parallel sweep harness and the compile cache), hold out a seeded split,
+fit the pure-numpy model, and report held-out MAPE / P95 relative error
+overall and per workload class.  The artifact that lands in
+``benchmarks/results/`` is self-describing JSON: schema versions, the
+model payload, the metrics it was accepted with, a
+:class:`~repro.profiling.manifest.RunManifest` provenance stamp, and a
+content-addressed key over the model payload.
+
+Everything downstream of a (corpus, cores, variants, seed, hyperparams)
+tuple is deterministic, so retraining with the same recipe reproduces
+the artifact byte for byte (modulo the provenance stamp's git/host
+fields).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from .dataset import Dataset, collect_dataset
+from .features import FEATURE_SCHEMA_VERSION, features_digest
+from .model import CyclePredictor, mape, p95_relative_error
+
+__all__ = [
+    "TrainReport",
+    "train_predictor",
+    "save_artifact",
+    "load_artifact",
+    "default_artifact_path",
+]
+
+# Bump when the artifact JSON layout (not the model payload) changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+_ENV_MODEL_PATH = "REPRO_PREDICT_MODEL"
+_DEFAULT_ARTIFACT = Path("benchmarks") / "results" / "predictor_model.json"
+
+
+@dataclass
+class TrainReport:
+    """A fitted predictor plus the evaluation that justifies trusting it."""
+
+    predictor: CyclePredictor
+    metrics: Dict[str, object] = field(default_factory=dict)
+    train_seconds: float = 0.0
+    n_samples: int = 0
+    n_train: int = 0
+    n_holdout: int = 0
+    dataset_digest: str = ""
+    seed: int = 0
+
+    @property
+    def holdout_mape(self) -> float:
+        return float(self.metrics["holdout"]["mape"])
+
+    @property
+    def holdout_p95(self) -> float:
+        return float(self.metrics["holdout"]["p95"])
+
+
+def _split(n: int, holdout: float, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded permutation split: (train indices, holdout indices)."""
+    rng = np.random.default_rng([seed, n])
+    order = rng.permutation(n)
+    n_hold = max(1, int(round(n * holdout))) if n > 1 else 0
+    return np.sort(order[n_hold:]), np.sort(order[:n_hold])
+
+
+def _eval_block(actual: np.ndarray, predicted: np.ndarray) -> Dict[str, float]:
+    return {
+        "mape": mape(actual, predicted),
+        "p95": p95_relative_error(actual, predicted),
+        "samples": int(len(actual)),
+    }
+
+
+def _per_class(classes: Sequence[str], actual: np.ndarray,
+               predicted: np.ndarray) -> Dict[str, Dict[str, float]]:
+    by_class: Dict[str, Dict[str, float]] = {}
+    for cls in sorted(set(classes)):
+        mask = np.asarray([c == cls for c in classes])
+        by_class[cls] = _eval_block(actual[mask], predicted[mask])
+    return by_class
+
+
+def train_predictor(seed: int = 0,
+                    corpus: Optional[Sequence[Tuple[str, dict]]] = None,
+                    cores: Optional[Sequence[str]] = None,
+                    variants_per_core: int = 12,
+                    holdout: float = 0.2,
+                    lam: float = 0.1,
+                    rounds: int = 150,
+                    learning_rate: float = 0.2,
+                    max_workers: Optional[int] = None,
+                    dataset: Optional[Dataset] = None) -> TrainReport:
+    """Collect (or reuse) a dataset, fit, and evaluate on the holdout.
+
+    The reported model is **refit on all samples** after evaluation:
+    the holdout numbers describe the recipe's generalization, and the
+    shipped model should not waste a fifth of the data.  Pass
+    ``dataset`` to skip collection (tests, resweeps).
+    """
+    if not 0.0 <= holdout < 1.0:
+        raise ConfigError(f"holdout fraction {holdout} not in [0, 1)")
+    start = time.perf_counter()
+    if dataset is None:
+        dataset = collect_dataset(corpus=corpus, cores=cores,
+                                  variants_per_core=variants_per_core,
+                                  seed=seed, max_workers=max_workers)
+    if len(dataset) < 4:
+        raise ConfigError(
+            f"dataset has {len(dataset)} samples; need at least 4 to train")
+
+    train_idx, hold_idx = _split(len(dataset), holdout, seed)
+    eval_model = CyclePredictor(lam=lam, rounds=rounds,
+                                learning_rate=learning_rate)
+    eval_model.fit(dataset.X[train_idx], dataset.cycles[train_idx])
+
+    hold_actual = dataset.cycles[hold_idx]
+    hold_pred = eval_model.predict(dataset.X[hold_idx])
+    hold_classes = [dataset.classes[i] for i in hold_idx]
+    train_pred = eval_model.predict(dataset.X[train_idx])
+
+    metrics: Dict[str, object] = {
+        "train": _eval_block(dataset.cycles[train_idx], train_pred),
+        "holdout": _eval_block(hold_actual, hold_pred),
+        "holdout_by_class": _per_class(hold_classes, hold_actual, hold_pred),
+    }
+
+    final = CyclePredictor(lam=lam, rounds=rounds,
+                           learning_rate=learning_rate)
+    final.fit(dataset.X, dataset.cycles)
+    elapsed = time.perf_counter() - start
+    return TrainReport(
+        predictor=final,
+        metrics=metrics,
+        train_seconds=elapsed,
+        n_samples=len(dataset),
+        n_train=int(len(train_idx)),
+        n_holdout=int(len(hold_idx)),
+        dataset_digest=features_digest(dataset.X),
+        seed=seed,
+    )
+
+
+# -- artifacts ----------------------------------------------------------------
+
+def default_artifact_path() -> Path:
+    """``REPRO_PREDICT_MODEL`` override, else the in-repo default."""
+    override = os.environ.get(_ENV_MODEL_PATH)
+    if override:
+        return Path(override)
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent / _DEFAULT_ARTIFACT
+    return Path.cwd() / _DEFAULT_ARTIFACT
+
+
+def save_artifact(report: TrainReport, path: Optional[Path] = None,
+                  extras: Optional[Dict[str, object]] = None) -> Path:
+    """Serialize a trained model + metrics + provenance to JSON."""
+    from ...profiling.manifest import RunManifest
+
+    path = Path(path) if path is not None else default_artifact_path()
+    model_payload = report.predictor.to_dict()
+    payload = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "feature_schema": FEATURE_SCHEMA_VERSION,
+        "content_key": report.predictor.content_key(),
+        "model": model_payload,
+        "metrics": report.metrics,
+        "training": {
+            "seed": report.seed,
+            "n_samples": report.n_samples,
+            "n_train": report.n_train,
+            "n_holdout": report.n_holdout,
+            "train_seconds": round(report.train_seconds, 3),
+            "dataset_digest": report.dataset_digest,
+        },
+        "manifest": RunManifest.collect(
+            model="predictor", config="",
+            extras=dict(extras or {})).to_dict(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_artifact(path: Optional[Path] = None
+                  ) -> Tuple[CyclePredictor, Dict[str, object]]:
+    """Load (predictor, artifact payload); schema-checked, content-verified."""
+    path = Path(path) if path is not None else default_artifact_path()
+    if not path.is_file():
+        raise ConfigError(
+            f"no predictor artifact at {path}; train one with "
+            "`python -m repro.perf.predictor train` or point "
+            f"{_ENV_MODEL_PATH} at an existing artifact")
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        raise ConfigError(
+            f"predictor artifact {path} has schema "
+            f"{payload.get('schema')!r}; this build expects "
+            f"{ARTIFACT_SCHEMA_VERSION}")
+    predictor = CyclePredictor.from_dict(payload["model"])
+    stored_key = payload.get("content_key")
+    if stored_key and stored_key != predictor.content_key():
+        raise ConfigError(
+            f"predictor artifact {path} content key mismatch — the model "
+            "payload was edited after training; retrain instead")
+    return predictor, payload

@@ -1,0 +1,128 @@
+"""Training harness and artifact lifecycle.
+
+Collection is exercised on a deliberately tiny real corpus (one small
+model, one core, few variants) so the test stays in tier-1 budget; the
+artifact round-trip is exact — a loaded model predicts bit-identically
+and a tampered payload is rejected by the content key.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.predictor.dataset import (Dataset, collect_dataset,
+                                          design_point_variants,
+                                          workload_class)
+from repro.perf.predictor.train import (load_artifact, save_artifact,
+                                        train_predictor)
+from repro.config import ASCEND_LITE
+
+
+def _synthetic_dataset(n=200, seed=0):
+    from repro.perf.predictor.features import feature_names
+
+    f = len(feature_names())
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, f))
+    w = rng.standard_normal(f) * 0.3
+    cycles = np.exp(8.0 + X @ w)
+    classes = ["cnn" if i % 2 else "mlp" for i in range(n)]
+    return Dataset(X=X, cycles=cycles, classes=classes,
+                   labels=[f"s{i}" for i in range(n)])
+
+
+class TestDataset:
+    def test_variants_are_deterministic_and_named(self):
+        a = design_point_variants(ASCEND_LITE, 5, seed=3)
+        b = design_point_variants(ASCEND_LITE, 5, seed=3)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert a[0] is ASCEND_LITE  # include_base
+        assert all(x == y for x, y in zip(a[1:], b[1:]))
+        c = design_point_variants(ASCEND_LITE, 5, seed=4)
+        assert any(x != y for x, y in zip(a[1:], c[1:]))
+
+    def test_collect_small_corpus(self):
+        ds = collect_dataset(corpus=[("gesture", {})], cores=["ascend-lite"],
+                             variants_per_core=2, seed=0, max_workers=1)
+        assert len(ds) > 0
+        assert ds.X.shape == (len(ds), ds.n_features)
+        assert (ds.cycles > 0).all()
+        assert set(ds.classes) == {"tiny-cnn"}
+        assert all("gesture@" in label for label in ds.labels)
+
+    def test_collection_is_deterministic(self):
+        kwargs = dict(corpus=[("gesture", {})], cores=["ascend-lite"],
+                      variants_per_core=2, seed=0, max_workers=1)
+        a, b = collect_dataset(**kwargs), collect_dataset(**kwargs)
+        assert a.X.tobytes() == b.X.tobytes()
+        assert np.array_equal(a.cycles, b.cycles)
+        assert a.labels == b.labels
+
+    def test_workload_classes(self):
+        assert workload_class("resnet50") == "cnn"
+        assert workload_class("bert-base") == "transformer"
+        assert workload_class("nonesuch") == "other"
+
+
+class TestTrain:
+    def test_reports_overall_and_per_class_metrics(self):
+        report = train_predictor(dataset=_synthetic_dataset(), rounds=10)
+        assert report.n_train + report.n_holdout == report.n_samples
+        hold = report.metrics["holdout"]
+        assert 0.0 <= hold["mape"] < 1.0
+        assert set(report.metrics["holdout_by_class"]) == {"cnn", "mlp"}
+        assert report.dataset_digest
+
+    def test_holdout_split_is_seeded(self):
+        ds = _synthetic_dataset()
+        a = train_predictor(dataset=ds, rounds=5, seed=7)
+        b = train_predictor(dataset=ds, rounds=5, seed=7)
+        assert a.predictor.content_key() == b.predictor.content_key()
+        assert a.metrics == b.metrics
+
+    def test_rejects_bad_holdout_and_tiny_dataset(self):
+        with pytest.raises(ConfigError):
+            train_predictor(dataset=_synthetic_dataset(), holdout=1.0)
+        with pytest.raises(ConfigError):
+            train_predictor(dataset=_synthetic_dataset(n=2))
+
+
+class TestArtifact:
+    def test_save_load_round_trip(self, tmp_path):
+        report = train_predictor(dataset=_synthetic_dataset(), rounds=10)
+        path = save_artifact(report, tmp_path / "model.json",
+                             extras={"origin": "unit-test"})
+        predictor, payload = load_artifact(path)
+        X = _synthetic_dataset(n=20, seed=9).X
+        assert np.array_equal(predictor.predict(X),
+                              report.predictor.predict(X))
+        assert payload["content_key"] == report.predictor.content_key()
+        assert payload["manifest"]["extras"]["origin"] == "unit-test"
+        assert payload["metrics"]["holdout"]["mape"] == \
+            report.metrics["holdout"]["mape"]
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="no predictor artifact"):
+            load_artifact(tmp_path / "absent.json")
+
+    def test_tampered_model_payload_rejected(self, tmp_path):
+        report = train_predictor(dataset=_synthetic_dataset(), rounds=5)
+        path = save_artifact(report, tmp_path / "model.json")
+        payload = json.loads(path.read_text())
+        payload["model"]["weights"][0] += 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="content key"):
+            load_artifact(path)
+
+    def test_env_override_selects_path(self, tmp_path, monkeypatch):
+        from repro.perf.predictor.train import default_artifact_path
+
+        monkeypatch.setenv("REPRO_PREDICT_MODEL",
+                           str(tmp_path / "elsewhere.json"))
+        assert default_artifact_path() == tmp_path / "elsewhere.json"
+        monkeypatch.delenv("REPRO_PREDICT_MODEL")
+        default = default_artifact_path()
+        assert default.name == "predictor_model.json"
+        assert default.parent.name == "results"

@@ -1,0 +1,106 @@
+"""PerfCounters JSON round-trip is lossless, hypothesis-gated.
+
+``to_dict``/``from_dict`` must reproduce the registry exactly — not
+just for freshly-built counters but for *accumulated* ones
+(``merged``/``__iadd__`` over several parts, where flag-wait pairs and
+kind/route tables have been summed key-wise) and for registries
+carrying attached cache/fault environment snapshots.  The payload must
+also survive an actual ``json.dumps``/``loads`` cycle, since that is
+how counters land in result files and Chrome-trace ``otherData``.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Pipe
+from repro.profiling import PerfCounters
+from repro.profiling.counters import KIND_NAMES
+
+_N_PIPES = len(Pipe)
+
+_counts = st.integers(min_value=0, max_value=2 ** 48)
+_small = st.integers(min_value=0, max_value=2 ** 20)
+
+# Realistic-shaped table keys (interned channel names, route names) plus
+# arbitrary printable text: from_dict must not care which.
+_channel_keys = st.one_of(
+    st.sampled_from(["MTE2->M#0", "M->V#1", "V->MTE3#2", "MTE1->M#3"]),
+    st.text(st.characters(codec="ascii", categories=["L", "N", "P"]),
+            min_size=1, max_size=12))
+_kind_keys = st.sampled_from(sorted(KIND_NAMES.values()))
+_route_keys = st.sampled_from(
+    ["GM->L1", "L1->L0A", "L1->L0B", "L0C->UB", "UB->GM", "GM->UB"])
+
+
+@st.composite
+def counters_registries(draw):
+    c = PerfCounters()
+    c.total_cycles = draw(_counts)
+    c.events = draw(_small)
+    c.busy_by_pipe = [draw(_counts) for _ in range(_N_PIPES)]
+    c.wait_by_pipe = [draw(_counts) for _ in range(_N_PIPES)]
+    c.flag_waits = {
+        key: [draw(_small), draw(_counts)]
+        for key in draw(st.lists(_channel_keys, max_size=5, unique=True))}
+    c.kind_events = draw(st.dictionaries(_kind_keys, _small, max_size=5))
+    c.route_bytes = draw(st.dictionaries(_route_keys, _counts, max_size=5))
+    for name in ("l1_read_bytes", "l1_write_bytes", "gm_read_bytes",
+                 "gm_write_bytes", "ub_read_bytes", "ub_write_bytes"):
+        setattr(c, name, draw(_counts))
+    c.traces = draw(_small)
+    c.layers = draw(_small)
+    # Environment snapshots: cache stats and fault-injection counters.
+    c.cache = draw(st.dictionaries(
+        st.sampled_from(["hits", "misses", "evictions", "entries"]),
+        _small, max_size=4))
+    c.faults = draw(st.dictionaries(
+        st.sampled_from(["ecc_single", "ecc_double", "sync_drop",
+                         "stall", "chip_fail"]),
+        _small, max_size=5))
+    return c
+
+
+@given(counters_registries())
+@settings(max_examples=80, deadline=None)
+def test_to_dict_from_dict_is_identity(counters):
+    assert PerfCounters.from_dict(counters.to_dict()) == counters
+
+
+@given(counters_registries())
+@settings(max_examples=40, deadline=None)
+def test_round_trip_survives_real_json(counters):
+    payload = json.loads(json.dumps(counters.to_dict()))
+    assert PerfCounters.from_dict(payload) == counters
+
+
+@given(st.lists(counters_registries(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_merged_counters_round_trip(parts):
+    merged = PerfCounters.merged(parts)
+    clone = PerfCounters.from_dict(merged.to_dict())
+    assert clone == merged
+    # And the clone keeps accumulating exactly like the original.
+    clone.add(parts[0])
+    merged.add(parts[0])
+    assert clone == merged
+
+
+@given(counters_registries(), counters_registries())
+@settings(max_examples=40, deadline=None)
+def test_iadd_then_round_trip(a, b):
+    total = PerfCounters.from_dict(a.to_dict())  # detached copy of a
+    total += b
+    assert PerfCounters.from_dict(total.to_dict()) == total
+    # __iadd__ summed key-wise: spot-check the derived aggregates.
+    assert total.total_cycles == a.total_cycles + b.total_cycles
+    assert total.stall_cycles == a.stall_cycles + b.stall_cycles
+
+
+@given(counters_registries())
+@settings(max_examples=20, deadline=None)
+def test_faults_and_cache_snapshots_survive(counters):
+    clone = PerfCounters.from_dict(counters.to_dict())
+    assert clone.faults == counters.faults
+    assert clone.cache == counters.cache
