@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-equiv test-faults bench bench-speed bench-gate \
-	profile-smoke predict-smoke ci
+	profile-smoke predict-smoke dse-smoke ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -47,9 +47,16 @@ profile-smoke:
 predict-smoke:
 	$(PY) -m repro.perf.predictor smoke
 
+# DSE smoke: a fixed-seed 2-generation predictor-gated search over the
+# 288-point validation slice must reproduce the exact brute-force
+# Pareto frontier while simulating >= 10x fewer candidates than the
+# exhaustive sweep.
+dse-smoke:
+	$(PY) -m repro.dse smoke
+
 # CI gate: the tier-1 suite, the equivalence suites, the
 # fault-injection smoke suite, a ~10 s simulator-speed smoke run, the
-# cold-compile perf gate, the predictor fast-tier smoke gate, and the
-# profiling CLI smoke run.
+# cold-compile perf gate, the predictor fast-tier smoke gate, the DSE
+# search exactness gate, and the profiling CLI smoke run.
 ci: test test-equiv test-faults bench-speed bench-gate predict-smoke \
-	profile-smoke
+	dse-smoke profile-smoke

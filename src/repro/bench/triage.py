@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
+import numpy as np
+
 from .runner import run_sweep
 
 __all__ = ["TriageResult", "triage_sweep", "shortlist_indices"]
@@ -49,20 +51,35 @@ def shortlist_indices(predicted: Sequence[float], top_k: int,
                       epsilon: float) -> List[int]:
     """Top-K by predicted score plus the (1 + epsilon) near-tie window.
 
-    Deterministic: ties in the predicted score resolve by job index
-    (stable sort), so the same predictions always shortlist the same
-    candidates.
+    Deterministic, with exact-tie semantics pinned by regression tests:
+
+    * the top-K slots resolve ties by job index (stable argsort), so
+      equal predicted scores shortlist in stable index order and the
+      lowest indices win the last slots;
+    * the epsilon window is a single value-based comparison against one
+      cutoff computed **in float64** regardless of the input container's
+      dtype, so two candidates with exactly equal predicted scores at
+      the window boundary always receive the identical in/out decision
+      (a float32 prediction array used to evaluate ``best * (1 + eps)``
+      in float32, which could split exact boundary ties depending on
+      rounding direction);
+    * the returned indices are ascending.
+
+    Accepts any 1-D sequence or ndarray; scores are read as float64.
     """
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
     if epsilon < 0:
         raise ValueError("epsilon must be >= 0")
-    order = sorted(range(len(predicted)), key=lambda i: (predicted[i], i))
-    keep = set(order[:top_k])
-    if order:
-        cutoff = predicted[order[0]] * (1.0 + epsilon)
-        keep.update(i for i in order if predicted[i] <= cutoff)
-    return sorted(keep)
+    scores = np.asarray(predicted, dtype=np.float64).reshape(-1)
+    if scores.size == 0:
+        return []
+    order = np.argsort(scores, kind="stable")
+    keep = np.zeros(scores.size, dtype=bool)
+    keep[order[:top_k]] = True
+    cutoff = float(scores[order[0]]) * (1.0 + epsilon)
+    keep |= scores <= cutoff
+    return [int(i) for i in np.flatnonzero(keep)]
 
 
 def triage_sweep(jobs: Sequence[_J], worker: Callable[[_J], _R],

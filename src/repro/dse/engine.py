@@ -1,0 +1,482 @@
+"""The predictor-gated search driver.
+
+One generation = propose -> predict -> promote -> simulate -> archive
+-> checkpoint:
+
+1. The strategy proposes up to ``population`` unseen candidates
+   (deterministic in ``(seed, generation, archive)``).
+2. The fast tier builds **one** stacked feature matrix for the whole
+   generation (every mix workload x every candidate, via the batched
+   extractor) and makes **one** model call; area and rated power come
+   from the vectorized closed-form PPA columns.  No per-config Python
+   runs in this loop.
+3. Promotion keeps the predicted-Pareto-frontier plus epsilon window:
+   a candidate is simulated only when its prediction is within
+   ``(1 + epsilon)`` of the best prediction at no-worse area and rated
+   power (batch plus archive), ordered by that slack and capped at
+   ``max_promote`` simulations per generation.
+4. Promoted candidates run through the event engine via
+   :func:`repro.bench.runner.run_sweep` — process-parallel, sharing the
+   content-addressed compile cache across generations and resumes.
+5. The archive (candidate content key -> simulated record) and the
+   stats ledger are checkpointed atomically (temp file + ``os.replace``)
+   to a run-keyed JSON.  A killed search resumes from the last completed
+   generation: archived candidates are **never** re-simulated, and the
+   resumed trajectory is identical to the uninterrupted one — the
+   exported frontier artifact is byte-identical (pinned by
+   ``tests/dse/test_resume.py``).
+
+The checkpoint carries the trained predictor payload itself, so a
+resume predicts with exactly the model the search started with, plus a
+RunManifest provenance stamp (the one volatile section, excluded from
+every content key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.core_configs import CoreConfig
+from ..errors import ConfigError
+from ..perf.predictor.features import (candidate_feature_matrix,
+                                       config_feature_columns)
+from ..perf.predictor.model import CyclePredictor
+from .objectives import (design_area_columns, design_power_columns,
+                         mix_weighted_cycles)
+from .pareto import frontier_groups
+from .settings import dse_kill_at
+from .space import Assignment, SearchSpace
+from .strategies import strategy_by_name
+
+__all__ = ["SearchSpec", "DseEngine", "brute_force_frontier"]
+
+CHECKPOINT_SCHEMA = 1
+FRONTIER_SCHEMA = 1
+
+
+def _simulate_job(job: Tuple[str, dict, CoreConfig]) -> float:
+    """Sweep worker: total simulated model cycles on one design point."""
+    from ..compiler import GraphEngine
+    from ..models import build_model
+
+    model_name, kwargs, config = job
+    graph = build_model(model_name, **kwargs)
+    compiled = GraphEngine(config).compile_graph(graph)
+    return float(sum(layer.cycles for layer in compiled.layers))
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Everything that determines a search trajectory — and nothing else.
+
+    The run key is a sha256 over the canonical spec dict; two processes
+    given the same spec converge on the same checkpoint file, the same
+    proposals, and the same frontier.
+    """
+
+    space: SearchSpace
+    strategy: str = "evolve"
+    population: int = 96
+    generations: int = 6
+    top_k: int = 4
+    epsilon: float = 0.02
+    max_promote: int = 24
+    seed: int = 0
+    node_nm: float = 7.0
+    predictor_recipe: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigError("population must be >= 1")
+        if self.generations < 1:
+            raise ConfigError("generations must be >= 1")
+        if self.max_promote < 1:
+            raise ConfigError("max_promote must be >= 1")
+        strategy_by_name(self.strategy)  # validates the name
+
+    def to_dict(self) -> dict:
+        return {
+            "space": self.space.to_dict(),
+            "strategy": self.strategy,
+            "population": self.population,
+            "generations": self.generations,
+            "top_k": self.top_k,
+            "epsilon": self.epsilon,
+            "max_promote": self.max_promote,
+            "seed": self.seed,
+            "node_nm": self.node_nm,
+            "predictor_recipe": dict(self.predictor_recipe),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchSpec":
+        return cls(
+            space=SearchSpace.from_dict(payload["space"]),
+            strategy=str(payload["strategy"]),
+            population=int(payload["population"]),
+            generations=int(payload["generations"]),
+            top_k=int(payload["top_k"]),
+            epsilon=float(payload["epsilon"]),
+            max_promote=int(payload["max_promote"]),
+            seed=int(payload["seed"]),
+            node_nm=float(payload["node_nm"]),
+            predictor_recipe=dict(payload.get("predictor_recipe", {})),
+        )
+
+    def run_key(self) -> str:
+        return hashlib.sha256(_canonical(self.to_dict()).encode()).hexdigest()
+
+
+class DseEngine:
+    """One search run: in-memory state + the on-disk checkpoint."""
+
+    def __init__(self, spec: SearchSpec, predictor: CyclePredictor,
+                 out_dir) -> None:
+        self.spec = spec
+        self.predictor = predictor
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.completed = 0                     # generations finished
+        self.seen: set = set()                 # every key ever proposed
+        self.archive: Dict[str, dict] = {}     # key -> simulated record
+        self.gen_stats: List[dict] = []
+        # Wall-clock accumulators for benchmarks; never checkpointed.
+        self.timings = {"predict_seconds": 0.0, "simulate_seconds": 0.0}
+        self._run_key = spec.run_key()
+        self._strategy = strategy_by_name(spec.strategy)
+        self._workloads = self._load_mix()
+
+    def _load_mix(self):
+        from ..compiler.graph_engine import _im2col_scales
+        from ..models import build_model
+
+        loaded = []
+        base = self.spec.space.base
+        for entry in self.spec.space.mix:
+            graph = build_model(entry.model, **entry.kwargs_dict)
+            pairs = list(graph.grouped_workloads())
+            for _, work in pairs:
+                for gemm in work.gemms:
+                    if not base.supports_dtype(gemm.dtype):
+                        raise ConfigError(
+                            f"mix workload {entry.label!r} needs "
+                            f"{gemm.dtype} which base core {base.name!r} "
+                            "does not support")
+            loaded.append((entry, pairs, _im2col_scales(graph)))
+        return loaded
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def run_key(self) -> str:
+        return self._run_key
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.out_dir / f"dse-{self._run_key[:16]}.json"
+
+    @property
+    def frontier_path(self) -> Path:
+        return self.out_dir / f"dse-frontier-{self._run_key[:16]}.json"
+
+    # -- resume ---------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, checkpoint_path) -> "DseEngine":
+        """Rebuild an engine from a checkpoint, predictor included."""
+        path = Path(checkpoint_path)
+        if not path.is_file():
+            raise ConfigError(f"no DSE checkpoint at {path}")
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            raise ConfigError(
+                f"DSE checkpoint {path} has schema "
+                f"{payload.get('schema')!r}; this build expects "
+                f"{CHECKPOINT_SCHEMA}")
+        spec = SearchSpec.from_dict(payload["spec"])
+        if payload.get("run_key") != spec.run_key():
+            raise ConfigError(
+                f"DSE checkpoint {path} run key does not match its spec — "
+                "the file was edited; restart the search instead")
+        engine = cls(spec, CyclePredictor.from_dict(payload["predictor"]),
+                     path.parent)
+        engine.completed = int(payload["completed_generations"])
+        engine.seen = set(payload["seen"])
+        engine.archive = dict(payload["archive"])
+        engine.gen_stats = list(payload["generations"])
+        return engine
+
+    # -- the generation loop --------------------------------------------------
+
+    def run(self, max_workers: Optional[int] = None,
+            stop_after: Optional[int] = None) -> dict:
+        """Run to ``spec.generations`` (or ``stop_after`` more), then
+        return the frontier payload.  Checkpoints after every
+        generation; safe to kill and :meth:`resume` at any point."""
+        import time
+
+        if not self.checkpoint_path.is_file():
+            self._checkpoint()
+        kill_at = dse_kill_at()
+        ran = 0
+        while self.completed < self.spec.generations:
+            gen = self.completed
+            proposals = self._strategy.propose(
+                self.spec.space, gen, self.spec.seed, self._elites(),
+                self.seen, self.spec.population)
+            if not proposals:
+                # Space exhausted: nothing left to propose, ever.
+                self.completed = self.spec.generations
+                self._checkpoint()
+                break
+
+            t0 = time.perf_counter()
+            keys, configs, predicted, areas, powers = \
+                self._predict(proposals)
+            self.timings["predict_seconds"] += time.perf_counter() - t0
+
+            promoted = self._promote(predicted, areas, powers)
+            if kill_at is not None and gen == kill_at:
+                os._exit(137)  # the REPRO_DSE_KILL_AT fault: die mid-gen
+
+            to_sim = [i for i in promoted if keys[i] not in self.archive]
+            t0 = time.perf_counter()
+            self._simulate(gen, to_sim, proposals, keys, configs,
+                           predicted, areas, powers, max_workers)
+            self.timings["simulate_seconds"] += time.perf_counter() - t0
+
+            self.seen.update(keys)
+            self.gen_stats.append({
+                "generation": gen,
+                "proposed": len(proposals),
+                "promoted": len(promoted),
+                "simulated": len(to_sim),
+                "archive": len(self.archive),
+                "frontier": len(self.frontier()),
+            })
+            self.completed = gen + 1
+            self._checkpoint()
+            ran += 1
+            if stop_after is not None and ran >= stop_after:
+                break
+        return self.frontier_payload()
+
+    def _predict(self, proposals: Sequence[Assignment]):
+        """One feature matrix and one model call for the generation."""
+        space = self.spec.space
+        keys = [space.candidate_key(a) for a in proposals]
+        configs = [space.decode(a) for a in proposals]
+        columns = config_feature_columns(configs)
+        blocks = [candidate_feature_matrix(pairs, columns, scales)
+                  for _, pairs, scales in self._workloads]
+        stacked = np.vstack(blocks)
+        per_layer = self.predictor.predict(stacked)
+        weighted = np.zeros(len(configs), dtype=np.float64)
+        offset = 0
+        for (entry, pairs, _), block in zip(self._workloads, blocks):
+            rows = block.shape[0]
+            model_cycles = per_layer[offset:offset + rows] \
+                .reshape(len(configs), len(pairs)).sum(axis=1)
+            weighted += entry.weight * model_cycles
+            offset += rows
+        areas = design_area_columns(columns, self.spec.node_nm)
+        powers = design_power_columns(columns, self.spec.node_nm)
+        return keys, configs, weighted, areas, powers
+
+    def _promote(self, predicted: np.ndarray, areas: np.ndarray,
+                 powers: np.ndarray) -> List[int]:
+        """Predicted-Pareto-frontier + epsilon-window promotion.
+
+        A candidate's *envelope* is the lowest predicted cycle count
+        among all points — this generation's batch plus the whole
+        archive (at its stored predictions, so resume sees the same
+        envelope) — whose area and rated power are both no worse.  The
+        candidate is promoted when its own prediction is within
+        ``(1 + epsilon)`` of that envelope, i.e. it is on or near the
+        predicted Pareto frontier over (cycles, area, power).  Strata
+        the predictor can already tell are dominated (say, a higher
+        clock at the same area: more power *and* more bus-bound cycles)
+        contribute nothing, so the whole simulation budget concentrates
+        on strata that can actually reach the frontier.
+
+        Promotions are ordered by slack (prediction over envelope),
+        tie-broken by prediction then batch index, and capped at
+        ``max_promote``; at least ``top_k`` candidates are always
+        promoted so a mistrained predictor cannot starve the search.
+        """
+        pred = np.asarray(predicted, dtype=np.float64)
+        area = np.asarray(areas, dtype=np.float64)
+        power = np.asarray(powers, dtype=np.float64)
+        if self.archive:
+            records = [self.archive[k] for k in sorted(self.archive)]
+            pred = np.concatenate([pred, [r["predicted_cycles"]
+                                          for r in records]])
+            area = np.concatenate([area, [r["objectives"][1]
+                                          for r in records]])
+            power = np.concatenate([power, [r["objectives"][2]
+                                            for r in records]])
+        ranked: List[Tuple[float, float, int]] = []
+        for i in range(len(predicted)):
+            mask = (area <= area[i]) & (power <= power[i])
+            envelope = float(pred[mask].min())  # <= pred[i]: mask has i
+            ranked.append((float(pred[i]) / envelope, float(pred[i]), i))
+        ranked.sort()
+        window = [r for r in ranked if r[0] <= 1.0 + self.spec.epsilon]
+        if len(window) < self.spec.top_k:
+            window = ranked[:self.spec.top_k]
+        return [idx for _, _, idx in window[:self.spec.max_promote]]
+
+    def _simulate(self, gen: int, to_sim: List[int],
+                  proposals: Sequence[Assignment], keys: List[str],
+                  configs: List[CoreConfig], predicted: np.ndarray,
+                  areas: np.ndarray, powers: np.ndarray,
+                  max_workers: Optional[int]) -> None:
+        from ..bench.runner import run_sweep
+
+        mix = self.spec.space.mix
+        jobs = [(entry.model, entry.kwargs_dict, configs[i])
+                for i in to_sim for entry in mix]
+        results = run_sweep(jobs, _simulate_job, max_workers=max_workers)
+        for slot, i in enumerate(to_sim):
+            per_model = [float(c) for c in
+                         results[slot * len(mix):(slot + 1) * len(mix)]]
+            cycles = mix_weighted_cycles(mix, per_model)
+            self.archive[keys[i]] = {
+                "assignment": dict(proposals[i]),
+                "generation": gen,
+                "mix_cycles": per_model,
+                "predicted_cycles": float(predicted[i]),
+                "objectives": [cycles, float(areas[i]), float(powers[i])],
+            }
+
+    # -- frontier -------------------------------------------------------------
+
+    def _elites(self) -> List[Assignment]:
+        return [self.archive[key]["assignment"]
+                for _, members in self.frontier() for key in members]
+
+    def frontier(self):
+        keys = sorted(self.archive)
+        objs = [self.archive[k]["objectives"] for k in keys]
+        return frontier_groups(keys, objs)
+
+    def stats(self) -> dict:
+        simulated = sum(g["simulated"] for g in self.gen_stats)
+        proposed = sum(g["proposed"] for g in self.gen_stats)
+        size = self.spec.space.size()
+        return {
+            "space_size": size,
+            "proposed": proposed,
+            "predicted": proposed,
+            "simulated": simulated,
+            "simulated_over_candidates": (simulated / proposed
+                                          if proposed else 0.0),
+            "simulated_over_space": simulated / size,
+        }
+
+    def frontier_payload(self) -> dict:
+        """The deterministic frontier artifact (content-keyed; no
+        manifest, no wall times — byte-identical across resumes)."""
+        payload = {
+            "schema": FRONTIER_SCHEMA,
+            "run_key": self._run_key,
+            "spec": self.spec.to_dict(),
+            "completed_generations": self.completed,
+            "stats": self.stats(),
+            "generations": list(self.gen_stats),
+            "frontier": [
+                {
+                    "objectives": list(vec),
+                    "members": [
+                        {
+                            "key": key,
+                            "assignment": self.archive[key]["assignment"],
+                            "mix_cycles": self.archive[key]["mix_cycles"],
+                            "generation": self.archive[key]["generation"],
+                        }
+                        for key in members
+                    ],
+                }
+                for vec, members in self.frontier()
+            ],
+        }
+        payload["content_key"] = hashlib.sha256(
+            _canonical(payload).encode()).hexdigest()
+        return payload
+
+    def write_frontier(self, path=None) -> Path:
+        path = Path(path) if path is not None else self.frontier_path
+        _atomic_write_json(path, self.frontier_payload())
+        return path
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        from ..profiling.manifest import RunManifest
+
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "run_key": self._run_key,
+            "spec": self.spec.to_dict(),
+            "predictor": self.predictor.to_dict(),
+            "completed_generations": self.completed,
+            "seen": sorted(self.seen),
+            "archive": self.archive,
+            "generations": self.gen_stats,
+            # Provenance only: the single volatile section, excluded
+            # from run/content keys and from resume-identity checks.
+            "manifest": RunManifest.collect(
+                model=",".join(e.label for e in self.spec.space.mix),
+                config=self.spec.space.base_name,
+                extras={"dse": self.spec.space.name}).to_dict(),
+        }
+        _atomic_write_json(self.checkpoint_path, payload)
+
+
+# -- exhaustive reference -----------------------------------------------------
+
+def brute_force_frontier(space: SearchSpace, node_nm: float = 7.0,
+                         max_workers: Optional[int] = None):
+    """Simulate *every* point of a (small) space; the exactness oracle.
+
+    Returns ``(frontier, n_points)`` with the frontier in the same
+    grouped form the engine emits, so the smoke gate compares the two
+    directly.
+    """
+    points = list(space.points())
+    keys = [space.candidate_key(a) for a in points]
+    configs = [space.decode(a) for a in points]
+    columns = config_feature_columns(configs)
+    areas = design_area_columns(columns, node_nm)
+    powers = design_power_columns(columns, node_nm)
+
+    from ..bench.runner import run_sweep
+
+    mix = space.mix
+    jobs = [(entry.model, entry.kwargs_dict, config)
+            for config in configs for entry in mix]
+    results = run_sweep(jobs, _simulate_job, max_workers=max_workers)
+    objs = []
+    for i in range(len(points)):
+        per_model = [float(c) for c in
+                     results[i * len(mix):(i + 1) * len(mix)]]
+        objs.append([mix_weighted_cycles(mix, per_model),
+                     float(areas[i]), float(powers[i])])
+    return frontier_groups(keys, objs), len(points)

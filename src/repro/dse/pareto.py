@@ -1,0 +1,54 @@
+"""Pareto dominance over (cycles, area, power) — all minimized.
+
+Pure, deterministic set operations: no randomness, no tolerance fuzz.
+Equal objective vectors never dominate each other, so exact ties — e.g.
+two candidates differing only in a capacity knob the workload never
+fills — survive side by side and are grouped into one frontier entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pareto_indices", "frontier_groups"]
+
+
+def pareto_indices(objectives: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, ascending.
+
+    A point is dominated iff some other point is <= on every axis and
+    < on at least one.  O(n^2) with a vectorized inner sweep — fine for
+    the archive sizes a predictor-gated search accumulates.
+    """
+    pts = np.asarray(objectives, dtype=np.float64)
+    if pts.size == 0:
+        return []
+    if pts.ndim != 2:
+        raise ValueError("objectives must be an (n, d) array")
+    keep: List[int] = []
+    for i in range(pts.shape[0]):
+        dominated = np.any(np.all(pts <= pts[i], axis=1)
+                           & np.any(pts < pts[i], axis=1))
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def frontier_groups(keys: Sequence[str],
+                    objectives: Sequence[Sequence[float]]
+                    ) -> List[Tuple[Tuple[float, ...], List[str]]]:
+    """The frontier as ``(objective vector, sorted member keys)`` rows.
+
+    Rows are sorted by objective vector, members by key, so the same
+    archive always renders the same frontier — the byte-identity anchor
+    for the exported artifact.
+    """
+    front = pareto_indices(objectives)
+    grouped: Dict[Tuple[float, ...], List[str]] = {}
+    for i in front:
+        vec = tuple(float(v) for v in objectives[i])
+        grouped.setdefault(vec, []).append(keys[i])
+    return [(vec, sorted(members))
+            for vec, members in sorted(grouped.items())]

@@ -1,0 +1,149 @@
+"""Seeded proposal strategies: how each generation's candidates arise.
+
+A strategy is a pure function of ``(space, generation, seed, elites,
+seen)``: the per-generation RNG is ``default_rng([seed, generation])``,
+elites arrive in a deterministic order (the engine sorts the archive
+frontier by objectives then key), and every proposal is deduplicated
+against the run's ``seen`` key set — so a resumed search proposes
+exactly what the uninterrupted one would have.
+
+Shared rules:
+
+* Generation 0 is a seeded uniform sample of the space.
+* When the *unseen remainder* of the space fits in one population, the
+  strategy enumerates it outright (deterministic knob-major order)
+  instead of sampling — small spaces and validation slices get exact
+  full coverage instead of coupon-collector tails.
+* Slots a strategy cannot fill with informed proposals are topped up
+  with random immigrants, keeping exploration pressure nonzero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from ..errors import ConfigError
+from .space import Assignment, SearchSpace
+
+__all__ = ["BeamStrategy", "EvolutionaryStrategy", "strategy_by_name"]
+
+
+def _immigrants(space: SearchSpace, rng: np.random.Generator, count: int,
+                taken: Set[str], out: List[Assignment]) -> None:
+    """Fill up to ``count`` slots with fresh seeded-random candidates."""
+    attempts = 0
+    budget = max(200, 60 * count)
+    while count > 0 and attempts < budget:
+        attempts += 1
+        assignment = space.random_assignment(rng)
+        key = space.candidate_key(assignment)
+        if key in taken:
+            continue
+        taken.add(key)
+        out.append(assignment)
+        count -= 1
+
+
+def _exhaustive_remainder(space: SearchSpace, seen: Set[str],
+                          population: int) -> List[Assignment]:
+    out: List[Assignment] = []
+    for assignment in space.points():
+        if space.candidate_key(assignment) not in seen:
+            out.append(assignment)
+            if len(out) > population:  # too many to enumerate this gen
+                return []
+    return out
+
+
+class _Strategy:
+    """Base: generation-0 sampling and the small-space exhaustion rule."""
+
+    name = "base"
+
+    def propose(self, space: SearchSpace, generation: int, seed: int,
+                elites: Sequence[Assignment], seen: Set[str],
+                population: int) -> List[Assignment]:
+        if population < 1:
+            raise ConfigError("population must be >= 1")
+        if space.size() <= population + len(seen):
+            remainder = _exhaustive_remainder(space, seen, population)
+            if remainder or space.size() <= len(seen):
+                return remainder
+        rng = np.random.default_rng([seed, generation])
+        if generation == 0 or not elites:
+            out: List[Assignment] = []
+            _immigrants(space, rng, population, set(seen), out)
+            return out
+        return self._evolve(space, rng, elites, seen, population)
+
+    def _evolve(self, space: SearchSpace, rng: np.random.Generator,
+                elites: Sequence[Assignment], seen: Set[str],
+                population: int) -> List[Assignment]:
+        raise NotImplementedError
+
+
+class BeamStrategy(_Strategy):
+    """Deterministic beam: every one-knob neighbor of every elite, in
+    (elite, knob, value) order, topped up with random immigrants."""
+
+    name = "beam"
+
+    def _evolve(self, space, rng, elites, seen, population):
+        out: List[Assignment] = []
+        taken = set(seen)
+        for elite in elites:
+            for neighbor in space.neighbors(elite):
+                key = space.candidate_key(neighbor)
+                if key in taken:
+                    continue
+                taken.add(key)
+                out.append(neighbor)
+                if len(out) >= population:
+                    return out
+        _immigrants(space, rng, population - len(out), taken, out)
+        return out
+
+
+class EvolutionaryStrategy(_Strategy):
+    """Seeded (mu + lambda)-style evolution over the elite frontier:
+    uniform crossover of two rng-chosen elites plus per-knob mutation,
+    with a 10% immigrant quota for exploration."""
+
+    name = "evolve"
+    mutation_prob = 0.3
+    immigrant_fraction = 0.1
+
+    def _evolve(self, space, rng, elites, seen, population):
+        out: List[Assignment] = []
+        taken = set(seen)
+        n_immigrants = max(1, int(population * self.immigrant_fraction))
+        n_children = population - n_immigrants
+        attempts = 0
+        budget = max(200, 60 * n_children)
+        while len(out) < n_children and attempts < budget:
+            attempts += 1
+            a = elites[int(rng.integers(len(elites)))]
+            b = elites[int(rng.integers(len(elites)))]
+            child = space.mutate(space.crossover(a, b, rng), rng,
+                                 prob=self.mutation_prob)
+            key = space.candidate_key(child)
+            if key in taken:
+                continue
+            taken.add(key)
+            out.append(child)
+        _immigrants(space, rng, population - len(out), taken, out)
+        return out
+
+
+_STRATEGIES = {cls.name: cls for cls in (BeamStrategy, EvolutionaryStrategy)}
+
+
+def strategy_by_name(name: str) -> _Strategy:
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown DSE strategy {name!r}; known: "
+            f"{sorted(_STRATEGIES)}") from None

@@ -183,6 +183,27 @@ class CyclePredictor:
         """Predicted cycle counts (float, >= 1) for raw feature rows."""
         return np.exp(self.predict_log(X))
 
+    def predict_model_cycles(self, stacked: np.ndarray,
+                             n_candidates: int) -> np.ndarray:
+        """Per-candidate predicted *model* cycles from a stacked matrix.
+
+        ``stacked`` is the config-major candidate matrix that
+        :func:`~repro.perf.predictor.features.candidate_feature_matrix`
+        produces — ``n_candidates * n_layers`` feature rows.  One model
+        call covers the whole batch; the per-layer predictions reshape
+        to ``(n_candidates, n_layers)`` and sum per candidate, so the
+        DSE hot loop touches no per-config python at all.
+        """
+        if n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
+        stacked = np.atleast_2d(np.asarray(stacked, dtype=np.float64))
+        if stacked.shape[0] % n_candidates:
+            raise ValueError(
+                f"{stacked.shape[0]} feature rows do not divide into "
+                f"{n_candidates} candidates")
+        per_layer = self.predict(stacked)
+        return per_layer.reshape(n_candidates, -1).sum(axis=1)
+
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:

@@ -31,7 +31,7 @@ import numpy as np
 from ...bench.triage import shortlist_indices
 from ...config.core_configs import CoreConfig, core_config_by_name
 from .dataset import design_point_variants
-from .features import model_feature_matrix
+from .features import candidate_feature_matrix, config_feature_columns
 from .model import CyclePredictor, mape, p95_relative_error
 from .settings import predict_epsilon, predict_top_k
 
@@ -151,12 +151,11 @@ def triage_design_sweep(predictor: CyclePredictor,
     pairs = list(graph.grouped_workloads())
     scales = _im2col_scales(graph)
 
-    # -- fast tier: vectorized prediction over candidates x layers ------------
+    # -- fast tier: one batched feature matrix, one model call ----------------
     triage_start = time.perf_counter()
-    stack = np.vstack([model_feature_matrix(pairs, config, scales)
-                       for config in configs])
-    per_layer = predictor.predict(stack).reshape(len(configs), len(pairs))
-    predicted = per_layer.sum(axis=1)
+    stack = candidate_feature_matrix(pairs, config_feature_columns(configs),
+                                     scales)
+    predicted = predictor.predict_model_cycles(stack, len(configs))
     predict_seconds = time.perf_counter() - triage_start
 
     keep = shortlist_indices([float(p) for p in predicted], top_k, epsilon)

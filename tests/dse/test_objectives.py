@@ -1,0 +1,48 @@
+"""The PPA objective vector, scalar vs vectorized — bit for bit."""
+
+import pytest
+
+from repro.dse import design_area_mm2, design_power_w, mix_weighted_cycles
+from repro.dse.objectives import design_area_columns, design_power_columns
+from repro.dse.space import MixEntry, space_by_name
+from repro.perf.energy import EnergyModel
+from repro.perf.predictor.features import config_feature_columns
+
+
+class TestVectorizedEqualsScalar:
+    """The promotion loop must rank with exactly the numbers the scalar
+    PPA models would produce — any drift silently reshuffles strata."""
+
+    @pytest.fixture(scope="class")
+    def smoke_configs(self):
+        space = space_by_name("smoke")
+        return [space.decode(p) for p in space.points()]
+
+    def test_area_bit_identical(self, smoke_configs):
+        columns = config_feature_columns(smoke_configs)
+        areas = design_area_columns(columns, 7)
+        for config, vec in zip(smoke_configs, areas):
+            assert float(vec) == design_area_mm2(config, 7)
+
+    def test_power_bit_identical(self, smoke_configs):
+        columns = config_feature_columns(smoke_configs)
+        powers = design_power_columns(columns, 7)
+        for config, vec in zip(smoke_configs, powers):
+            assert float(vec) == design_power_w(config, 7)
+
+    def test_power_is_rated_not_average(self, smoke_configs):
+        config = smoke_configs[0]
+        em = EnergyModel(config, 7)
+        expected = (em.cube_power_w() + em.vector_power_w()) \
+            * (1.0 + em.static_fraction)
+        assert design_power_w(config, 7) == expected
+
+
+class TestMixWeighting:
+    def test_weighted_sum_in_mix_order(self):
+        mix = (MixEntry.of("a", weight=2.0), MixEntry.of("b", weight=0.5))
+        assert mix_weighted_cycles(mix, [10.0, 4.0]) == 22.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mix_weighted_cycles((MixEntry.of("a"),), [1.0, 2.0])

@@ -1,0 +1,42 @@
+"""Dominance semantics: exact, tie-preserving, deterministic."""
+
+import pytest
+
+from repro.dse import frontier_groups, pareto_indices
+
+
+class TestParetoIndices:
+    def test_simple_dominance(self):
+        objs = [[1.0, 2.0], [2.0, 1.0], [2.0, 2.0], [3.0, 3.0]]
+        assert pareto_indices(objs) == [0, 1]
+
+    def test_equal_vectors_never_dominate_each_other(self):
+        objs = [[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]
+        assert pareto_indices(objs) == [0, 1]
+
+    def test_single_axis_improvement_dominates(self):
+        objs = [[1.0, 2.0, 3.0], [1.0, 2.0, 2.0]]
+        assert pareto_indices(objs) == [1]
+
+    def test_empty_input(self):
+        assert pareto_indices([]) == []
+
+    def test_rejects_ragged_shapes(self):
+        with pytest.raises(ValueError):
+            pareto_indices([1.0, 2.0])
+
+
+class TestFrontierGroups:
+    def test_ties_group_with_sorted_members(self):
+        keys = ["c", "a", "b", "d"]
+        objs = [[1.0, 1.0], [1.0, 1.0], [0.5, 2.0], [5.0, 5.0]]
+        assert frontier_groups(keys, objs) == [
+            ((0.5, 2.0), ["b"]),
+            ((1.0, 1.0), ["a", "c"]),
+        ]
+
+    def test_rows_sorted_by_objective_vector(self):
+        keys = ["x", "y"]
+        objs = [[2.0, 1.0], [1.0, 2.0]]
+        vecs = [vec for vec, _ in frontier_groups(keys, objs)]
+        assert vecs == [(1.0, 2.0), (2.0, 1.0)]

@@ -1,0 +1,103 @@
+"""The satellite contract: kill a search mid-generation, resume it in a
+new process, and get the byte-identical frontier artifact with zero
+re-simulation of archived candidates.
+
+``REPRO_DSE_KILL_AT=<gen>`` makes the engine ``os._exit(137)`` after
+generation ``<gen>``'s predict/promote step but *before* its simulate —
+the harshest spot: proposals computed, nothing of the generation
+persisted yet.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.dse import Knob, MixEntry, SearchSpace
+
+KILL_EXIT = 137
+
+
+def _space_payload():
+    return SearchSpace(
+        name="resume-t", base_name="ascend-lite",
+        knobs=(
+            Knob("freq_factor", (0.75, 1.0)),
+            Knob("l1a_factor", (0.5, 1.0)),
+            Knob("ub_factor", (0.5, 1.0)),
+        ),
+        mix=(MixEntry.of("gesture"),)).to_dict()
+
+
+def _run(args, **env_overrides):
+    env = dict(os.environ, **env_overrides)
+    env.pop("REPRO_DSE_KILL_AT", None)
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.dse", *args],
+        capture_output=True, text=True, env=env)
+
+
+def _search_args(space_file, out_dir):
+    return ["search", "--space-file", str(space_file), "--out",
+            str(out_dir), "--population", "6", "--generations", "2",
+            "--top-k", "2", "--epsilon", "0.05", "--max-promote", "4",
+            "--seed", "0", "--train-variants", "8", "--train-rounds",
+            "10", "--workers", "2"]
+
+
+def _checkpoint_in(out_dir):
+    files = [p for p in out_dir.iterdir()
+             if p.name.startswith("dse-")
+             and not p.name.startswith("dse-frontier-")]
+    assert len(files) == 1, files
+    return files[0]
+
+
+def _frontier_in(out_dir):
+    files = list(out_dir.glob("dse-frontier-*.json"))
+    assert len(files) == 1, files
+    return files[0]
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    def test_resumed_search_is_byte_identical(self, tmp_path):
+        space_file = tmp_path / "space.json"
+        space_file.write_text(json.dumps(_space_payload()))
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+
+        straight = _run(_search_args(space_file, a_dir))
+        assert straight.returncode == 0, straight.stderr
+
+        killed = _run(_search_args(space_file, b_dir),
+                      REPRO_DSE_KILL_AT="1")
+        assert killed.returncode == KILL_EXIT, (killed.stdout,
+                                                killed.stderr)
+
+        # The kill landed mid-generation: gen 0 is durable, gen 1 is not.
+        checkpoint = _checkpoint_in(b_dir)
+        payload = json.loads(checkpoint.read_text())
+        assert payload["completed_generations"] == 1
+        archived_before = set(payload["archive"])
+        assert archived_before  # gen 0 simulations survived the kill
+
+        resumed = _run(["resume", "--checkpoint", str(checkpoint),
+                        "--workers", "2"])
+        assert resumed.returncode == 0, resumed.stderr
+        assert "none will be re-simulated" in resumed.stdout
+
+        # Byte-identical frontier artifact, identical content key.
+        assert _frontier_in(b_dir).read_bytes() \
+            == _frontier_in(a_dir).read_bytes()
+
+        # The trajectory converged exactly: same checkpoint minus the
+        # volatile provenance manifest.
+        after = json.loads(_checkpoint_in(b_dir).read_text())
+        reference = json.loads(_checkpoint_in(a_dir).read_text())
+        assert archived_before <= set(after["archive"])
+        after.pop("manifest")
+        reference.pop("manifest")
+        assert after == reference

@@ -1,0 +1,112 @@
+"""Proposal strategies: seeded, deduplicated, exhaustion-aware."""
+
+import pytest
+
+from repro.dse import Knob, MixEntry, SearchSpace, strategy_by_name
+from repro.errors import ConfigError
+
+
+def _tiny():
+    return SearchSpace(
+        name="t", base_name="ascend-lite",
+        knobs=(
+            Knob("freq_factor", (0.75, 1.0)),
+            Knob("l1a_factor", (0.5, 1.0)),
+            Knob("ub_factor", (0.5, 1.0)),
+        ),
+        mix=(MixEntry.of("gesture"),))
+
+
+def _wide():
+    return SearchSpace(
+        name="w", base_name="ascend-lite",
+        knobs=(
+            Knob("freq_factor", (0.5, 0.75, 1.0, 1.25)),
+            Knob("cube_m", (4, 8, 16)),
+            Knob("l1a_factor", (0.25, 0.5, 1.0, 2.0)),
+            Knob("l1b_factor", (0.25, 0.5, 1.0, 2.0)),
+            Knob("ub_factor", (0.25, 0.5, 1.0, 2.0)),
+        ),
+        mix=(MixEntry.of("gesture"),))
+
+
+class TestSharedRules:
+    @pytest.mark.parametrize("name", ["beam", "evolve"])
+    def test_small_space_is_enumerated_exhaustively(self, name):
+        space = _tiny()
+        strategy = strategy_by_name(name)
+        out = strategy.propose(space, 0, seed=0, elites=[], seen=set(),
+                               population=16)
+        assert out == list(space.points())
+
+    @pytest.mark.parametrize("name", ["beam", "evolve"])
+    def test_exhausted_space_proposes_nothing(self, name):
+        space = _tiny()
+        seen = {space.candidate_key(p) for p in space.points()}
+        strategy = strategy_by_name(name)
+        assert strategy.propose(space, 1, seed=0, elites=[], seen=seen,
+                                population=16) == []
+
+    def test_generation_zero_is_seeded_and_deduplicated(self):
+        space = _wide()
+        strategy = strategy_by_name("evolve")
+        a = strategy.propose(space, 0, seed=0, elites=[], seen=set(),
+                             population=20)
+        b = strategy.propose(space, 0, seed=0, elites=[], seen=set(),
+                             population=20)
+        c = strategy.propose(space, 0, seed=1, elites=[], seen=set(),
+                             population=20)
+        assert a == b
+        assert a != c
+        keys = [space.candidate_key(p) for p in a]
+        assert len(set(keys)) == len(a) == 20
+
+    def test_proposals_never_revisit_seen_keys(self):
+        space = _wide()
+        strategy = strategy_by_name("evolve")
+        first = strategy.propose(space, 0, seed=0, elites=[], seen=set(),
+                                 population=20)
+        seen = {space.candidate_key(p) for p in first}
+        second = strategy.propose(space, 1, seed=0, elites=first[:2],
+                                  seen=seen, population=20)
+        assert not seen & {space.candidate_key(p) for p in second}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            strategy_by_name("simulated-annealing")
+
+
+class TestBeam:
+    def test_elite_neighbors_come_first_in_order(self):
+        space = _wide()
+        strategy = strategy_by_name("beam")
+        elite = next(space.points())
+        out = strategy.propose(space, 1, seed=0, elites=[elite],
+                               seen={space.candidate_key(elite)},
+                               population=40)
+        expected = list(space.neighbors(elite))
+        assert out[:len(expected)] == expected
+
+    def test_fills_remaining_slots_with_immigrants(self):
+        space = _wide()
+        strategy = strategy_by_name("beam")
+        elite = next(space.points())
+        out = strategy.propose(space, 1, seed=0, elites=[elite],
+                               seen={space.candidate_key(elite)},
+                               population=40)
+        assert len(out) == 40
+        assert len(out) > len(list(space.neighbors(elite)))
+
+
+class TestEvolve:
+    def test_children_are_valid_and_fill_the_population(self):
+        space = _wide()
+        strategy = strategy_by_name("evolve")
+        elites = list(space.points())[:3]
+        seen = {space.candidate_key(p) for p in elites}
+        out = strategy.propose(space, 2, seed=0, elites=elites, seen=seen,
+                               population=30)
+        assert len(out) == 30
+        values = {k.name: set(k.values) for k in space.knobs}
+        for child in out:
+            assert all(child[n] in values[n] for n in values)

@@ -7,6 +7,7 @@ and speedup gates live in ``make predict-smoke`` and
 ``benchmarks/bench_predictor_triage.py``.
 """
 
+import numpy as np
 import pytest
 
 from repro.bench import TriageResult, shortlist_indices, triage_sweep
@@ -47,6 +48,56 @@ class TestShortlist:
 
     def test_empty(self):
         assert shortlist_indices([], top_k=3, epsilon=0.1) == []
+
+
+class TestShortlistBoundaryTies:
+    """Exact ties at the epsilon-window boundary: the regression suite.
+
+    Equal predicted cycles must shortlist identically (one value-based
+    comparison against one float64 cutoff) and in stable index order,
+    no matter which container or float width the predictions arrive in.
+    """
+
+    def test_exact_ties_at_window_boundary_all_shortlist(self):
+        # cutoff = 100 * 1.05; every 105.0 ties exactly at the boundary
+        # and all of them must shortlist, in index order.
+        predicted = [100.0, 105.0, 105.0, 105.0, 200.0]
+        assert shortlist_indices(predicted, top_k=1,
+                                 epsilon=0.05) == [0, 1, 2, 3]
+
+    def test_exactly_representable_cutoff_keeps_boundary_ties(self):
+        # 100 * 1.125 == 112.5 exactly in binary floating point: the
+        # boundary candidates compare equal to the cutoff, not near it.
+        predicted = [100.0, 112.5, 113.0, 112.5]
+        assert shortlist_indices(predicted, top_k=1,
+                                 epsilon=0.125) == [0, 1, 3]
+
+    def test_ties_spanning_top_k_boundary_prefer_low_index(self):
+        # Three exact ties above the window competing for one remaining
+        # top-k slot: the stable order hands it to the lowest index.
+        predicted = [1.0, 5.0, 5.0, 5.0]
+        assert shortlist_indices(predicted, top_k=2, epsilon=0.0) == [0, 1]
+
+    def test_all_equal_scores_keep_everything(self):
+        assert shortlist_indices([7.0] * 4, top_k=2,
+                                 epsilon=0.0) == [0, 1, 2, 3]
+
+    def test_container_and_dtype_do_not_change_the_shortlist(self):
+        # The pre-fix code computed the cutoff in the input's dtype, so
+        # a float32 prediction vector could split exact boundary ties
+        # differently from the identical float64/list input.
+        base = [100.0, 105.0, 105.0, 105.0, 104.99999, 200.0, 100.0]
+        expect = shortlist_indices(base, top_k=1, epsilon=0.05)
+        assert expect == shortlist_indices(np.asarray(base), 1, 0.05)
+        f32 = np.asarray(base, dtype=np.float32)
+        assert shortlist_indices(f32, 1, 0.05) == \
+            shortlist_indices(np.asarray(f32, dtype=np.float64), 1, 0.05)
+
+    def test_returns_plain_ints_ascending(self):
+        out = shortlist_indices(np.asarray([3.0, 1.0, 1.0]), top_k=1,
+                                epsilon=0.0)
+        assert out == [1, 2]
+        assert all(type(i) is int for i in out)
 
 
 class TestTriageSweep:
