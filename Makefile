@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-equiv test-faults bench bench-speed bench-gate \
-	profile-smoke predict-smoke dse-smoke ci
+	profile-smoke predict-smoke dse-smoke chaos-smoke ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -54,9 +54,20 @@ predict-smoke:
 dse-smoke:
 	$(PY) -m repro.dse smoke
 
+# Chaos smoke: the same fixed-seed DSE search run through the sweep
+# supervisor under a seeded host-side chaos campaign (worker kills,
+# 30 s job hangs caught by a 2 s timeout, corrupted payloads) must
+# still recover the exact brute-force frontier — with >= 1 kill,
+# >= 1 timeout-recovered hang, and >= 1 corrupted payload actually
+# injected, and zero quarantined jobs.  The failure-report artifact
+# lands in benchmarks/results/chaos_smoke.json.
+chaos-smoke:
+	$(PY) -m repro.dse chaos-smoke
+
 # CI gate: the tier-1 suite, the equivalence suites, the
 # fault-injection smoke suite, a ~10 s simulator-speed smoke run, the
 # cold-compile perf gate, the predictor fast-tier smoke gate, the DSE
-# search exactness gate, and the profiling CLI smoke run.
+# search exactness gate, the host-side chaos recovery gate, and the
+# profiling CLI smoke run.
 ci: test test-equiv test-faults bench-speed bench-gate predict-smoke \
-	dse-smoke profile-smoke
+	dse-smoke chaos-smoke profile-smoke

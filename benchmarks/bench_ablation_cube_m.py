@@ -62,9 +62,12 @@ def test_cube_m_dse_via_predictor(report):
         pytest.skip("REPRO_PREDICT off (default): ablation rows are "
                     "always fully simulated")
     from repro.perf.predictor.sweep import triage_design_sweep
-    from repro.perf.predictor.train import load_artifact
+    from repro.perf.predictor.train import try_load_artifact
 
-    predictor, _ = load_artifact()
+    predictor, _ = try_load_artifact()
+    if predictor is None:
+        pytest.skip("predictor artifact missing or quarantined; the fast "
+                    "tier degrades to full simulation (see warning)")
     sweep = triage_design_sweep(predictor, model="mobilenet_v2",
                                 kwargs={"batch": 1}, base_core="ascend-max",
                                 n_candidates=48, seed=2)

@@ -95,9 +95,12 @@ def test_table5_predictor_dse(report):
         pytest.skip("REPRO_PREDICT off (default): Table 5 rows are "
                     "always fully simulated")
     from repro.perf.predictor.sweep import triage_design_sweep
-    from repro.perf.predictor.train import load_artifact
+    from repro.perf.predictor.train import try_load_artifact
 
-    predictor, _ = load_artifact()
+    predictor, _ = try_load_artifact()
+    if predictor is None:
+        pytest.skip("predictor artifact missing or quarantined; the fast "
+                    "tier degrades to full simulation (see warning)")
     rows = []
     for core, model, kwargs in _DSE_ANCHORS:
         sweep = triage_design_sweep(predictor, model=model, kwargs=kwargs,

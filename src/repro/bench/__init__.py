@@ -1,7 +1,10 @@
-"""Benchmark-harness utilities (parallel and triaged sweep execution)."""
+"""Benchmark-harness utilities (parallel, supervised, triaged sweeps)."""
 
 from .runner import run_sweep, sweep_workers
+from .supervisor import (Attempt, JobFailureReport, SweepOutcome, SweepPolicy,
+                         supervise, sweep_job_key)
 from .triage import TriageResult, shortlist_indices, triage_sweep
 
 __all__ = ["run_sweep", "sweep_workers", "triage_sweep", "TriageResult",
-           "shortlist_indices"]
+           "shortlist_indices", "supervise", "SweepPolicy", "SweepOutcome",
+           "JobFailureReport", "Attempt", "sweep_job_key"]

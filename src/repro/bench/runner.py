@@ -15,21 +15,31 @@ relies on:
   seeding covers it without touching disk.)
 * **Deterministic results.**  Results come back in job order, identical
   to the serial map; a worker exception propagates to the caller.
-* **Graceful fallback.**  Serial execution when jobs are few, when
-  ``REPRO_SWEEP_WORKERS=0``/``1``, when the platform lacks ``fork``
-  (the seeding contract above requires it), or when the worker/jobs
-  turn out not to be picklable.
+* **Supervised execution.**  Since the fault-tolerance rework, the pool
+  runs under :mod:`repro.bench.supervisor`: per-job timeouts
+  (``REPRO_SWEEP_TIMEOUT``), bounded retries (``REPRO_SWEEP_RETRIES``),
+  incremental checkpoints (``REPRO_SWEEP_CHECKPOINT``), and partial-
+  result salvage.  A broken worker or unpicklable job no longer throws
+  away completed results and reruns the *whole* sweep serially — only
+  the affected job is demoted to the parent.  All knobs default off, in
+  which case results are byte-identical to the historic harness.
 
-Workers must be module-level functions and jobs picklable values.
+``run_sweep`` keeps the historic all-or-nothing contract: any job
+failure re-raises after salvage.  Callers that want completed results
+*plus* structured failure reports use
+:func:`repro.bench.supervisor.supervise` directly.
+
+Workers must be module-level functions and jobs picklable values (a
+non-picklable worker or job degrades to in-parent execution).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from ..errors import SweepError
+from .supervisor import SweepPolicy, supervise
 
 __all__ = ["run_sweep", "sweep_workers"]
 
@@ -37,6 +47,17 @@ _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
 
 _J = TypeVar("_J")
 _R = TypeVar("_R")
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None on platforms
+    without it (the warm-seeding contract requires fork inheritance)."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
 
 
 def sweep_workers(n_jobs: int) -> int:
@@ -54,38 +75,6 @@ def sweep_workers(n_jobs: int) -> int:
     return max(1, min(limit, n_jobs))
 
 
-def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork
-        return None
-
-
-# Fork-aware cache statistics.  The worker callable and the parent's
-# counter snapshot ride into the pool via fork-inherited module globals
-# (never pickled), and every job returns ``(result, stats_delta)`` where
-# the delta covers exactly the counters this worker accumulated since
-# its previous job (or since fork, for its first).  Summing the deltas
-# in the parent therefore reconstructs the workers' total contribution
-# regardless of how jobs were distributed across processes.
-_SWEEP_WORKER: Optional[Callable] = None
-_FORK_SNAP: dict = {}
-_LAST_SNAP: Optional[dict] = None
-
-
-def _instrumented_call(job):
-    global _LAST_SNAP
-    from ..compiler import cache
-
-    if _LAST_SNAP is None:  # first job in this worker process
-        _LAST_SNAP = dict(_FORK_SNAP)
-    result = _SWEEP_WORKER(job)
-    now = cache.snapshot()
-    delta = {k: v - _LAST_SNAP.get(k, 0) for k, v in now.items()}
-    _LAST_SNAP = now
-    return result, delta
-
-
 def run_sweep(jobs: Iterable[_J], worker: Callable[[_J], _R],
               max_workers: Optional[int] = None,
               warm: Optional[Callable[[], object]] = None) -> List[_R]:
@@ -93,36 +82,19 @@ def run_sweep(jobs: Iterable[_J], worker: Callable[[_J], _R],
 
     ``warm`` (if given) always runs first, in the parent — both so its
     caches are fork-inherited and so serial fallback behaves the same.
+    A job that still fails after the supervisor's retry budget re-raises
+    its original exception (completed results and failure reports remain
+    inspectable on the raised :class:`~repro.errors.SweepError` when no
+    original exception could be preserved).
     """
-    job_list: Sequence[_J] = list(jobs)
-    if warm is not None:
-        warm()
-    if not job_list:
-        return []
-    workers = (max_workers if max_workers is not None
-               else sweep_workers(len(job_list)))
-    workers = max(1, min(workers, len(job_list)))
-    ctx = _fork_context()
-    if workers <= 1 or ctx is None:
-        return [worker(job) for job in job_list]
-    from ..compiler import cache
-
-    global _SWEEP_WORKER, _FORK_SNAP, _LAST_SNAP
-    _SWEEP_WORKER = worker
-    _FORK_SNAP = cache.snapshot()
-    _LAST_SNAP = None
-    try:
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            # Materialize everything before merging any delta, so a
-            # worker failure that triggers the serial redo below can
-            # never double-count partial statistics.
-            pairs = list(pool.map(_instrumented_call, job_list))
-    except (pickle.PicklingError, AttributeError, BrokenExecutor):
-        # Unpicklable job (or a worker died): redo serially so the
-        # sweep still completes; correctness over parallelism.
-        return [worker(job) for job in job_list]
-    finally:
-        _SWEEP_WORKER = None
-    for _, delta in pairs:
-        cache.merge_stats(delta)
-    return [result for result, _ in pairs]
+    outcome = supervise(jobs, worker, max_workers=max_workers, warm=warm,
+                        policy=SweepPolicy.from_env(fail_fast=True))
+    if outcome.failures:
+        first = outcome.failures[0]
+        if first.exception is not None:
+            raise first.exception
+        raise SweepError(
+            f"sweep job {first.index} failed after "
+            f"{len(first.attempts)} attempt(s): {first.error}",
+            failures=outcome.failures, results=outcome.results)
+    return outcome.results

@@ -4,10 +4,11 @@
 :func:`~repro.bench.runner.run_sweep`: given per-job *predicted* scores
 (lower is better — cycles, latency), it keeps the top-K plus everything
 within ``(1 + epsilon)`` of the predicted best, runs the real worker on
-that shortlist only (through ``run_sweep``, so the warm-cache seeding
-and fork-aware stats plumbing apply unchanged), and returns results
-aligned with the original job order — ``None`` where a candidate was
-triaged away.
+that shortlist only (through :func:`~repro.bench.supervisor.supervise`,
+so the warm-cache seeding, fork-aware stats plumbing, and the
+retry/timeout/quarantine policy knobs apply unchanged), and returns
+results aligned with the original job order — ``None`` where a
+candidate was triaged away or quarantined.
 
 The triage contract: predicted scores only ever *rank*; any number that
 leaves a sweep (a published table row, a chosen design point) comes
@@ -17,12 +18,12 @@ from the event engine via the shortlist.  Callers verify that with the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
-from .runner import run_sweep
+from .supervisor import JobFailureReport, SweepPolicy, supervise
 
 __all__ = ["TriageResult", "triage_sweep", "shortlist_indices"]
 
@@ -37,6 +38,10 @@ class TriageResult:
     predicted: List[float]
     shortlist: List[int]               # indices simulated, ascending
     results: List[Optional[object]]    # worker result, or None if skipped
+    # Shortlisted jobs the supervisor quarantined (reports carry the
+    # original job-list index).  Empty unless retries were exhausted;
+    # their ``results`` slots stay None like triaged-away candidates.
+    failures: List[JobFailureReport] = field(default_factory=list)
 
     @property
     def simulated(self) -> int:
@@ -107,9 +112,17 @@ def triage_sweep(jobs: Sequence[_J], worker: Callable[[_J], _R],
         scores,
         top_k if top_k is not None else predict_top_k(),
         epsilon if epsilon is not None else predict_epsilon())
-    simulated = run_sweep([job_list[i] for i in keep], worker,
-                          max_workers=max_workers, warm=warm)
+    outcome = supervise([job_list[i] for i in keep], worker,
+                        max_workers=max_workers, warm=warm,
+                        policy=SweepPolicy.from_env())
     results: List[Optional[object]] = [None] * len(job_list)
-    for index, result in zip(keep, simulated):
+    for index, result in zip(keep, outcome.results):
         results[index] = result
-    return TriageResult(predicted=scores, shortlist=keep, results=results)
+    failures = []
+    for report in outcome.failures:
+        # Re-anchor the report at the caller's job-list index.
+        report.index = keep[report.index]
+        results[report.index] = None
+        failures.append(report)
+    return TriageResult(predicted=scores, shortlist=keep, results=results,
+                        failures=failures)

@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterator, MutableMapping, Optional
 
 __all__ = ["SCHEMA_VERSION", "enabled", "cache_dir", "content_key",
            "load", "store", "model_content_key", "load_model", "store_model",
+           "quarantine_model",
            "note_memory_hit", "note_model_memory_hit", "stats", "reset_stats",
            "snapshot", "merge_stats",
            "LruCache", "memory_max_entries", "program_cache_enabled",
@@ -338,11 +339,38 @@ def model_content_key(config: Any, pairs: Any,
 def load_model(key: str) -> Optional[Dict[str, Any]]:
     """Whole-model payload for ``key`` (same miss semantics as
     :func:`load`; model entries live under a ``model-`` filename prefix
-    in the same versioned directory)."""
+    in the same versioned directory).
+
+    Corrupt JSON is quarantined by :func:`load`; a *structurally*
+    corrupt entry — valid JSON whose ``layers`` field is not the list
+    :func:`store_model` writes (a truncated or hand-edited artifact) —
+    is quarantined here, so it reports a clean miss instead of
+    re-poisoning every later load.  Deeper per-layer validation lives in
+    the compiler, which calls :func:`quarantine_model` on rejection.
+    """
     payload = load(f"model-{key}")
-    if payload is not None:
-        _STATS["model_hits"] += 1
+    if payload is None:
+        return None
+    if not isinstance(payload.get("layers"), list):
+        _STATS["errors"] += 1
+        _quarantine(cache_dir() / f"model-{key}.json")
+        return None
+    _STATS["model_hits"] += 1
     return payload
+
+
+def quarantine_model(key: str) -> None:
+    """Move a rejected whole-model entry aside (next lookup recompiles).
+
+    The compiler calls this when a loaded model payload fails its
+    per-layer validation — the entry is intact JSON but unusable, and
+    leaving it in place would make every later process re-load and
+    re-reject the same garbage.
+    """
+    path = cache_dir() / f"model-{key}.json"
+    if path.is_file():
+        _STATS["errors"] += 1
+        _quarantine(path)
 
 
 def store_model(key: str, payload: Dict[str, Any]) -> None:

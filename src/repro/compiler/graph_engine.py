@@ -273,7 +273,7 @@ class GraphEngine:
         """Shard cold per-layer compiles across a fork-based worker pool.
 
         The structurally deduped layer set (minus in-memory cache hits)
-        fans out over :func:`repro.bench.run_sweep` — each worker lowers
+        fans out over :func:`repro.bench.supervise` — each worker lowers
         + schedules its layers, stores arena programs and stats into the
         shared persistent cache, and ships the numeric payload back; the
         parent seeds the process-global memory cache from those payloads
@@ -281,8 +281,12 @@ class GraphEngine:
         :class:`CompiledModel` is byte-identical to a serial compile.
         Worker cache counters fold back into this process's
         ``cache.stats()`` via the sweep harness's fork-aware stats
-        plumbing.  Falls back to serial work transparently on no-fork
-        platforms (run_sweep's own fallback) and skips the fan-out
+        plumbing.  Jobs the supervisor quarantines (crashing, hung, or
+        chaos-poisoned workers past their retry budget) simply ship no
+        payload — the serial assembly recompiles those layers in
+        process, so a degraded sweep still yields an identical model.
+        Falls back to serial work transparently on no-fork platforms
+        (the supervisor's own fallback) and skips the fan-out
         entirely when a timing-fault campaign is active (per-call
         perturbations must not cross process boundaries) or when the
         whole model is already cached in memory.
@@ -301,13 +305,16 @@ class GraphEngine:
                     continue
                 seen[key] = (work, scale)
             if seen:
-                from ..bench.runner import run_sweep
+                from ..bench.supervisor import SweepPolicy, supervise
 
                 jobs = [(self.config, work, scale)
                         for work, scale in seen.values()]
-                payloads = run_sweep(jobs, _compile_layer_job,
-                                     max_workers=max_workers)
-                for key, payload in zip(seen, payloads):
+                outcome = supervise(jobs, _compile_layer_job,
+                                    max_workers=max_workers,
+                                    policy=SweepPolicy.from_env())
+                for key, payload in zip(seen, outcome.results):
+                    if payload is None:
+                        continue  # quarantined job: serial path recompiles
                     work, _ = seen[key]
                     try:
                         layer = self._from_payload(payload, work, None)
@@ -346,6 +353,10 @@ class GraphEngine:
                         _observed(layer)
                     return CompiledModel(name=graph.name,
                                          config=self.config, layers=layers)
+                # Structurally corrupt whole-model entry: move it aside
+                # so every later process sees a clean miss instead of
+                # re-loading and re-rejecting the same artifact.
+                cache.quarantine_model(key)
 
         layers = [
             self.compile_workload(work, name=group,

@@ -7,6 +7,7 @@
     python -m repro.dse frontier --checkpoint <path>          # re-emit artifact
     python -m repro.dse report --checkpoint <path>            # ascii tables
     python -m repro.dse smoke                                 # the CI gate
+    python -m repro.dse chaos-smoke                           # the RAS gate
 
 ``search`` trains a seeded predictor (or loads ``--artifact``), runs the
 search, and writes both the checkpoint and the content-keyed frontier
@@ -14,14 +15,22 @@ artifact.  ``smoke`` is the ``make dse-smoke`` target: a fixed-seed
 2-generation search over the 288-point validation slice must reproduce
 the exact brute-force Pareto frontier while simulating at least 10x
 fewer candidates than exhaustive sweep does; nonzero exit otherwise.
+``chaos-smoke`` is the ``make chaos-smoke`` target: the same search run
+under a seeded host-side chaos campaign (worker kills, job hangs,
+corrupted payloads) through the sweep supervisor must *still* recover
+the exact brute-force frontier, with at least one kill, one
+timeout-recovered hang, and one corrupted payload actually injected —
+and it writes the failure-report artifact to ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -44,6 +53,17 @@ SMOKE_MAX_PROMOTE = 14
 SMOKE_TRAIN_VARIANTS = 60
 SMOKE_TRAIN_ROUNDS = 60
 SMOKE_SIM_RATIO_GATE = 10.0
+
+# The seeded chaos campaign `make chaos-smoke` runs the same search
+# under: worker kills, 30 s job hangs (caught by the 2 s supervisor
+# timeout), and corrupted hand-backs, each decided per (job, attempt)
+# from the seed.  Probabilities are sized so a ~30-job search sees a
+# few of each kind while a 3-retry budget makes quarantine (4 faults in
+# a row on one job) vanishingly unlikely.
+CHAOS_SMOKE_SPEC = "seed=0;kill:p=0.10;hang:p=0.06,seconds=30;corrupt:p=0.08"
+CHAOS_SMOKE_TIMEOUT = 2.0
+CHAOS_SMOKE_RETRIES = 3
+CHAOS_SMOKE_WORKERS = 2
 
 
 def _load_space(args: argparse.Namespace) -> SearchSpace:
@@ -266,6 +286,145 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _results_dir() -> Path:
+    """``benchmarks/results`` under the repo root (cwd as a fallback)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
+
+
+@contextmanager
+def _env_scope(**pairs: object):
+    """Temporarily set environment knobs, restoring on exit."""
+    previous = {key: os.environ.get(key) for key in pairs}
+    os.environ.update({key: str(value) for key, value in pairs.items()})
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _cmd_chaos_smoke(args: argparse.Namespace) -> int:
+    """``make chaos-smoke``: the dse-smoke search under seeded chaos.
+
+    The brute-force frontier is computed fault-free, so matching it
+    exactly *is* the byte-identity proof: ``make dse-smoke`` already
+    pins the fault-free search to the same oracle, hence
+    chaos-run == clean-run.  The campaign must actually bite (>= 1
+    worker kill, >= 1 timeout-recovered hang, >= 1 corrupted payload)
+    and no job may be quarantined — every fault has to be absorbed by
+    the supervisor's retry machinery.
+    """
+    import tempfile
+
+    from ..bench import supervisor
+    from ..perf.predictor.sweep import clear_memo_tiers
+    from ..reliability.chaos import chaos_scope, parse_chaos_spec
+
+    failures: List[str] = []
+    start = time.perf_counter()
+    plan = parse_chaos_spec(CHAOS_SMOKE_SPEC)
+    space = space_by_name("smoke")
+    predictor, recipe, report = _train_predictor(
+        space, SMOKE_TRAIN_VARIANTS, SMOKE_TRAIN_ROUNDS, SMOKE_SEED,
+        args.workers)
+    print(f"[chaos-smoke] trained predictor on {report.n_samples} samples "
+          f"(holdout MAPE {report.holdout_mape:.1%}) in "
+          f"{report.train_seconds:.1f}s")
+    print(f"[chaos-smoke] campaign: {CHAOS_SMOKE_SPEC} | "
+          f"timeout={CHAOS_SMOKE_TIMEOUT}s retries={CHAOS_SMOKE_RETRIES} "
+          f"workers={CHAOS_SMOKE_WORKERS}")
+
+    clear_memo_tiers()
+    supervisor.reset_counters()
+    supervisor.drain_failures()
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        engine = DseEngine(smoke_spec(space, recipe), predictor, tmp)
+        with _env_scope(REPRO_SWEEP_TIMEOUT=CHAOS_SMOKE_TIMEOUT,
+                        REPRO_SWEEP_RETRIES=CHAOS_SMOKE_RETRIES), \
+                chaos_scope(plan):
+            engine.run(max_workers=CHAOS_SMOKE_WORKERS)
+        counts = supervisor.counters()
+        reports = supervisor.drain_failures()
+        stats = engine.stats()
+        search_frontier = engine.frontier()
+        frontier_key = engine.frontier_payload()["content_key"]
+        print(f"[chaos-smoke] search under chaos: "
+              f"{stats['simulated']} simulated, "
+              f"{len(search_frontier)} frontier points | "
+              f"kills={counts['worker_deaths']} "
+              f"timeouts={counts['timeouts']} "
+              f"corrupt={counts['corrupt_payloads']} "
+              f"retries={counts['retries']} "
+              f"respawns={counts['pool_respawns']} "
+              f"quarantined={counts['quarantined']}")
+
+        # Fault-free oracle: exhaustive simulation of the whole slice.
+        brute, n_points = brute_force_frontier(space,
+                                               max_workers=args.workers)
+        search_vecs = [vec for vec, _ in search_frontier]
+        brute_vecs = [vec for vec, _ in brute]
+        if search_vecs != brute_vecs:
+            missing = [v for v in brute_vecs if v not in search_vecs]
+            extra = [v for v in search_vecs if v not in brute_vecs]
+            failures.append(
+                f"frontier mismatch under chaos: missing {missing}, "
+                f"extra {extra}")
+        else:
+            brute_members = dict(brute)
+            for vec, members in search_frontier:
+                if not set(members) <= set(brute_members[vec]):
+                    failures.append(
+                        f"frontier point {vec} lists designs the "
+                        "brute-force oracle does not")
+    if counts["worker_deaths"] < 1:
+        failures.append("campaign injected no worker kill")
+    if counts["timeouts"] < 1:
+        failures.append("campaign produced no timeout-recovered hang")
+    if counts["corrupt_payloads"] < 1:
+        failures.append("campaign corrupted no payload")
+    if counts["quarantined"] or reports:
+        failures.append(
+            f"{counts['quarantined']} job(s) quarantined — the retry "
+            "budget failed to absorb the campaign")
+
+    elapsed = time.perf_counter() - start
+    artifact = {
+        "schema": 1,
+        "chaos_spec": CHAOS_SMOKE_SPEC,
+        "policy": {"timeout": CHAOS_SMOKE_TIMEOUT,
+                   "retries": CHAOS_SMOKE_RETRIES,
+                   "workers": CHAOS_SMOKE_WORKERS},
+        "counters": counts,
+        "failure_reports": [r.to_dict() for r in reports],
+        "frontier": {"points": len(search_frontier),
+                     "content_key": frontier_key,
+                     "matches_brute_force": not failures},
+        "gates": failures,
+        "elapsed_seconds": round(elapsed, 2),
+    }
+    out = _results_dir() / "chaos_smoke.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"[chaos-smoke] report: {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"[chaos-smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"[chaos-smoke] OK in {elapsed:.1f}s — exact frontier recovered "
+          f"through {counts['worker_deaths']} kill(s), "
+          f"{counts['timeouts']} timeout(s), "
+          f"{counts['corrupt_payloads']} corrupted payload(s)")
+    return 0
+
+
 def _add_search_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--space", default="edge",
                         help="named space (smoke|edge|datacenter)")
@@ -322,6 +481,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     smoke = sub.add_parser("smoke", help="the make dse-smoke CI gate")
     smoke.add_argument("--workers", type=int, default=None)
     smoke.set_defaults(func=_cmd_smoke)
+
+    chaos = sub.add_parser("chaos-smoke",
+                           help="the make chaos-smoke RAS gate")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="workers for the fault-free phases (training, "
+                            "brute force); the chaos phase always uses "
+                            f"{CHAOS_SMOKE_WORKERS}")
+    chaos.set_defaults(func=_cmd_chaos_smoke)
 
     args = parser.parse_args(argv)
     try:

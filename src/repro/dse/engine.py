@@ -16,8 +16,12 @@ One generation = propose -> predict -> promote -> simulate -> archive
    power (batch plus archive), ordered by that slack and capped at
    ``max_promote`` simulations per generation.
 4. Promoted candidates run through the event engine via
-   :func:`repro.bench.runner.run_sweep` — process-parallel, sharing the
-   content-addressed compile cache across generations and resumes.
+   :func:`repro.bench.supervisor.supervise` — process-parallel, sharing
+   the content-addressed compile cache across generations and resumes,
+   with per-job retry/timeout/quarantine under the ``REPRO_SWEEP_*``
+   knobs; a candidate whose simulation is quarantined is dropped from
+   the generation (and may be re-promoted later) rather than aborting
+   the search.
 5. The archive (candidate content key -> simulated record) and the
    stats ledger are checkpointed atomically (temp file + ``os.replace``)
    to a run-keyed JSON.  A killed search resumes from the last completed
@@ -348,15 +352,30 @@ class DseEngine:
                   configs: List[CoreConfig], predicted: np.ndarray,
                   areas: np.ndarray, powers: np.ndarray,
                   max_workers: Optional[int]) -> None:
-        from ..bench.runner import run_sweep
+        import warnings
+
+        from ..bench.supervisor import SweepPolicy, supervise
+        from ..errors import DegradedSweepWarning
 
         mix = self.spec.space.mix
         jobs = [(entry.model, entry.kwargs_dict, configs[i])
                 for i in to_sim for entry in mix]
-        results = run_sweep(jobs, _simulate_job, max_workers=max_workers)
+        outcome = supervise(jobs, _simulate_job, max_workers=max_workers,
+                            policy=SweepPolicy.from_env())
+        results = outcome.results
         for slot, i in enumerate(to_sim):
-            per_model = [float(c) for c in
-                         results[slot * len(mix):(slot + 1) * len(mix)]]
+            block = results[slot * len(mix):(slot + 1) * len(mix)]
+            if any(c is None for c in block):
+                # A quarantined job leaves this candidate without a full
+                # mix measurement: drop it from the archive (it can be
+                # re-proposed and re-promoted later) instead of poisoning
+                # the search with partial cycles.
+                warnings.warn(
+                    f"DSE candidate {keys[i][:16]} dropped from generation "
+                    f"{gen}: simulation quarantined after retries",
+                    DegradedSweepWarning, stacklevel=2)
+                continue
+            per_model = [float(c) for c in block]
             cycles = mix_weighted_cycles(mix, per_model)
             self.archive[keys[i]] = {
                 "assignment": dict(proposals[i]),

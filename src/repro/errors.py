@@ -62,6 +62,34 @@ class DeadlockError(SimulationError):
         self.report = report
 
 
+class SweepError(ReproError):
+    """A supervised sweep could not complete every job.
+
+    ``failures`` carries the structured
+    :class:`~repro.bench.supervisor.JobFailureReport` list (job key,
+    attempt timeline, final error) for the quarantined jobs, and
+    ``results`` the salvaged per-job results (``None`` at failed
+    indices) so callers that can tolerate holes keep the completed
+    work.
+    """
+
+    def __init__(self, message: str, failures=None, results=None) -> None:
+        super().__init__(message)
+        self.failures = list(failures) if failures is not None else []
+        self.results = results
+
+
+class DegradedSweepWarning(UserWarning):
+    """A sweep (or artifact load) completed in a degraded mode.
+
+    Emitted — never raised — when the harness salvages around a failure
+    it can absorb: quarantined jobs in a ``supervise()`` call, a corrupt
+    cached artifact moved aside and recomputed, a checkpoint that could
+    not be persisted.  Filterable like any warning; ``-W error`` turns
+    degraded runs into hard failures for strict CI lanes.
+    """
+
+
 class GraphError(ReproError):
     """A graph IR construction or shape-inference problem."""
 

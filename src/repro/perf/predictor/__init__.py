@@ -33,7 +33,7 @@ from .model import CyclePredictor, mape, p95_relative_error
 from .dataset import (Dataset, collect_dataset, design_point_variants,
                       FULL_CORPUS, SMOKE_CORPUS, workload_class)
 from .train import (TrainReport, train_predictor, save_artifact,
-                    load_artifact, default_artifact_path)
+                    load_artifact, try_load_artifact, default_artifact_path)
 from .settings import (predict_enabled, predict_top_k, predict_epsilon)
 from .sweep import TriageSweepReport, triage_design_sweep
 
@@ -58,6 +58,7 @@ __all__ = [
     "train_predictor",
     "save_artifact",
     "load_artifact",
+    "try_load_artifact",
     "default_artifact_path",
     "predict_enabled",
     "predict_top_k",

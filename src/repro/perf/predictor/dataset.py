@@ -4,8 +4,11 @@ A training job is one (model, design point) pair; the worker compiles
 the model through the normal :class:`~repro.compiler.GraphEngine` path —
 so the persistent compile cache and the in-memory tiers make repeated
 collections cheap — and returns one (feature row, simulated cycles)
-sample per layer group.  Jobs fan out over
-:func:`repro.bench.run_sweep`, results come back in job order, and every
+sample per layer group.  Jobs fan out over the supervised sweep layer
+(:func:`repro.bench.supervise` — per-job retry/timeout/quarantine and
+optional ``REPRO_SWEEP_CHECKPOINT`` resume with zero re-simulation; a
+quarantined job drops its samples with a structured warning instead of
+killing the collection), results come back in job order, and every
 random choice flows from one seeded generator, so a (corpus, cores,
 variants, seed) tuple always yields the identical dataset.
 
@@ -180,7 +183,7 @@ def collect_dataset(corpus: Optional[Sequence[Tuple[str, dict]]] = None,
     Tiny cube — are filtered out up front rather than left to fail in a
     worker.
     """
-    from ...bench.runner import run_sweep
+    from ...bench.supervisor import SweepPolicy, supervise
     from ...models import build_model
 
     corpus = list(corpus if corpus is not None else FULL_CORPUS)
@@ -199,12 +202,18 @@ def collect_dataset(corpus: Optional[Sequence[Tuple[str, dict]]] = None,
                 jobs.append((model_name, kwargs, config))
                 job_classes.append(workload_class(model_name))
 
-    results = run_sweep(jobs, _collect_job, max_workers=max_workers)
+    outcome = supervise(jobs, _collect_job, max_workers=max_workers,
+                        policy=SweepPolicy.from_env())
     rows: List[List[float]] = []
     targets: List[float] = []
     classes: List[str] = []
     labels: List[str] = []
-    for cls, (job_rows, job_targets, job_labels) in zip(job_classes, results):
+    for cls, result in zip(job_classes, outcome.results):
+        if result is None:
+            # Quarantined by the supervisor (reported there): training
+            # proceeds on the surviving samples rather than dying.
+            continue
+        job_rows, job_targets, job_labels = result
         rows.extend(job_rows)
         targets.extend(job_targets)
         classes.extend([cls] * len(job_targets))

@@ -37,6 +37,7 @@ __all__ = [
     "train_predictor",
     "save_artifact",
     "load_artifact",
+    "try_load_artifact",
     "default_artifact_path",
 ]
 
@@ -198,25 +199,89 @@ def save_artifact(report: TrainReport, path: Optional[Path] = None,
     return path
 
 
+def _quarantine_artifact(path: Path, why: str) -> ConfigError:
+    """Move a corrupt predictor artifact aside; return the error to raise.
+
+    Same retry-with-quarantine discipline as the compile cache: garbled
+    JSON must neither crash with a raw decode traceback nor keep
+    poisoning every later load.  The file moves to ``<name>.corrupt``
+    next to the original so a fresh ``train`` can land cleanly.
+    """
+    aside = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, aside)
+        where = f"moved to {aside}"
+    except OSError:
+        where = "could not be moved aside"
+    return ConfigError(
+        f"predictor artifact {path} is corrupt ({why}; {where}); retrain "
+        "with `python -m repro.perf.predictor train`")
+
+
 def load_artifact(path: Optional[Path] = None
                   ) -> Tuple[CyclePredictor, Dict[str, object]]:
-    """Load (predictor, artifact payload); schema-checked, content-verified."""
+    """Load (predictor, artifact payload); schema-checked, content-verified.
+
+    Every failure mode raises :class:`~repro.errors.ConfigError`: a
+    missing file names the training command, corrupt JSON or an
+    undeserializable model payload quarantines the artifact
+    (``<name>.corrupt``) first, and schema / content-key mismatches
+    leave the file in place (it is intact — just wrong or edited).
+    """
     path = Path(path) if path is not None else default_artifact_path()
     if not path.is_file():
         raise ConfigError(
             f"no predictor artifact at {path}; train one with "
             "`python -m repro.perf.predictor train` or point "
             f"{_ENV_MODEL_PATH} at an existing artifact")
-    payload = json.loads(path.read_text())
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        raise _quarantine_artifact(path, f"bad JSON: {exc}") from None
+    except OSError as exc:
+        raise ConfigError(
+            f"predictor artifact {path} is unreadable: {exc}") from None
+    if not isinstance(payload, dict):
+        raise _quarantine_artifact(path, "top level is not an object")
     if payload.get("schema") != ARTIFACT_SCHEMA_VERSION:
         raise ConfigError(
             f"predictor artifact {path} has schema "
             f"{payload.get('schema')!r}; this build expects "
             f"{ARTIFACT_SCHEMA_VERSION}")
-    predictor = CyclePredictor.from_dict(payload["model"])
+    try:
+        predictor = CyclePredictor.from_dict(payload["model"])
+    except ConfigError:
+        raise
+    except Exception as exc:
+        raise _quarantine_artifact(
+            path, f"model payload does not deserialize: {exc!r}") from None
     stored_key = payload.get("content_key")
     if stored_key and stored_key != predictor.content_key():
         raise ConfigError(
             f"predictor artifact {path} content key mismatch — the model "
             "payload was edited after training; retrain instead")
     return predictor, payload
+
+
+def try_load_artifact(path: Optional[Path] = None
+                      ) -> Tuple[Optional[CyclePredictor],
+                                 Optional[Dict[str, object]]]:
+    """:func:`load_artifact`, degraded to ``(None, None)`` on failure.
+
+    The graceful tail of the degradation chain: callers that can fall
+    back to full simulation (triage sweeps, benchmark fast tiers) get a
+    structured :class:`~repro.errors.DegradedSweepWarning` instead of a
+    crash; corrupt artifacts are still quarantined by the strict loader
+    underneath.
+    """
+    import warnings
+
+    from ...errors import DegradedSweepWarning
+
+    try:
+        return load_artifact(path)
+    except ConfigError as exc:
+        warnings.warn(
+            f"predictor fast tier unavailable, falling back to full "
+            f"simulation: {exc}", DegradedSweepWarning, stacklevel=2)
+        return None, None

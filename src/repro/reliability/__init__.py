@@ -41,6 +41,18 @@ from .faults import (
     SyncFault,
     parse_fault_spec,
 )
+from .chaos import (
+    ChaosMonkey,
+    ChaosPlan,
+    CorruptChaos,
+    HangChaos,
+    KillChaos,
+    active_chaos,
+    chaos_scope,
+    clear_chaos,
+    install_chaos,
+    parse_chaos_spec,
+)
 from .injector import (
     FaultInjector,
     active_injector,
@@ -72,4 +84,14 @@ __all__ = [
     "cluster_mtbf_seconds",
     "optimal_checkpoint_interval",
     "expected_runtime",
+    "ChaosPlan",
+    "KillChaos",
+    "HangChaos",
+    "CorruptChaos",
+    "ChaosMonkey",
+    "parse_chaos_spec",
+    "install_chaos",
+    "clear_chaos",
+    "active_chaos",
+    "chaos_scope",
 ]

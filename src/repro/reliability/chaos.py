@@ -1,0 +1,303 @@
+"""Host-side chaos harness for the sweep supervisor.
+
+PR 4's fault injector perturbs the *simulated* hardware (bit flips,
+dropped flags, slow pipes).  This module gives the same treatment to the
+*host-side* execution harness: a :class:`ChaosPlan` makes sweep workers
+die mid-job, hang past the supervisor's deadline, or hand back corrupted
+payloads, so CI can prove that :mod:`repro.bench.supervisor` recovers a
+faulted sweep to byte-identical results.
+
+Spec grammar (``REPRO_CHAOS``; semicolon-separated clauses, the first
+may set the seed — same shape as ``REPRO_FAULTS``)::
+
+    REPRO_CHAOS="seed=7;kill:p=0.02"
+    REPRO_CHAOS="hang:p=0.01,seconds=60"
+    REPRO_CHAOS="seed=3;kill:p=0.02;hang:p=0.01;corrupt:p=0.02"
+
+Kinds (defaults in parentheses):
+
+=========  ==================================================================
+kind       meaning
+=========  ==================================================================
+kill       the worker process ``os._exit``\\ s mid-job: ``p`` per attempt
+           (0.0), ``code`` exit code (137)
+hang       the job sleeps ``seconds`` (60) before doing any work — long
+           enough to trip ``REPRO_SWEEP_TIMEOUT``: ``p`` per attempt (0.0)
+corrupt    the job runs to completion but returns a
+           :class:`ChaosCorruption` marker instead of its payload —
+           the model of a torn IPC hand-back: ``p`` per attempt (0.0)
+=========  ==================================================================
+
+Determinism is the load-bearing property: every decision is a pure
+function of ``(plan seed, job index, attempt number)`` — **not** of
+which worker process happens to run the job or in what order jobs
+complete.  A chaos campaign therefore injects the same faults at the
+same (job, attempt) sites on every run, the supervisor's retries land on
+fresh attempt numbers (so a killed job does not re-kill forever unless
+the plan says so), and a failing campaign is replayable from its spec
+string alone.
+
+Bad specs raise :class:`~repro.errors.ConfigError` naming the variable —
+same contract as every other ``REPRO_*`` knob.  With ``REPRO_CHAOS``
+unset and no plan installed, :func:`active_chaos` is one dict probe
+returning ``None`` and the sweep path is byte-identical to a build
+without this module.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "KillChaos",
+    "HangChaos",
+    "CorruptChaos",
+    "ChaosPlan",
+    "ChaosCorruption",
+    "ChaosMonkey",
+    "parse_chaos_spec",
+    "install_chaos",
+    "clear_chaos",
+    "active_chaos",
+    "chaos_scope",
+]
+
+_ENV = "REPRO_CHAOS"
+
+# Decision order — each kind consumes exactly one rng draw per attempt,
+# in this order, so adding probability to one kind never re-seats the
+# draws of another.
+CHAOS_KINDS = ("kill", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class KillChaos:
+    """The worker process dies mid-job (``os._exit``) — a hard crash."""
+
+    probability: float = 0.0  # per (job, attempt)
+    exit_code: int = 137
+
+
+@dataclass(frozen=True)
+class HangChaos:
+    """The job stalls: sleep ``seconds`` before touching any work.
+
+    ``seconds`` should comfortably exceed ``REPRO_SWEEP_TIMEOUT`` so the
+    supervisor's hung-worker detection (not the sleep expiring) is what
+    recovers the job.  Without a timeout configured, a hung job
+    eventually wakes up and completes — degraded, never deadlocked.
+    """
+
+    probability: float = 0.0  # per (job, attempt)
+    seconds: float = 60.0
+
+
+@dataclass(frozen=True)
+class CorruptChaos:
+    """The job completes but its returned payload is replaced with a
+    :class:`ChaosCorruption` marker — a detectably-garbled hand-back."""
+
+    probability: float = 0.0  # per (job, attempt)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One seeded host-side chaos campaign."""
+
+    seed: int = 0
+    kill: Optional[KillChaos] = None
+    hang: Optional[HangChaos] = None
+    corrupt: Optional[CorruptChaos] = None
+
+    def is_noop(self) -> bool:
+        return all(f is None or f.probability <= 0
+                   for f in (self.kill, self.hang, self.corrupt))
+
+
+@dataclass(frozen=True)
+class ChaosCorruption:
+    """The payload a corrupt-chaos job hands back instead of its result.
+
+    Module-level and picklable on purpose: it must cross the worker
+    pool's IPC boundary like any real payload would.  The supervisor
+    treats receiving one as a failed attempt (a corrupted payload that
+    slipped past transport checksums), retries the job, and never lets
+    the marker escape into caller-visible results.
+    """
+
+    job_index: int
+    attempt: int
+
+
+class ChaosMonkey:
+    """Evaluates a :class:`ChaosPlan`, one decision per (job, attempt).
+
+    Stateless between calls — the generator is re-derived per decision —
+    so parent and workers, first runs and resumes, all agree on exactly
+    which (job, attempt) pairs are faulted.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+
+    def action(self, job_index: int, attempt: int) -> Optional[str]:
+        """``kill``/``hang``/``corrupt`` for this attempt, or None."""
+        if self.plan.is_noop():
+            return None
+        rng = np.random.default_rng(
+            [self.plan.seed, int(job_index), int(attempt)])
+        hit: Optional[str] = None
+        for kind in CHAOS_KINDS:
+            fault = getattr(self.plan, kind)
+            draw = rng.random()  # always drawn: stable draw alignment
+            if hit is None and fault is not None \
+                    and fault.probability > 0 and draw < fault.probability:
+                hit = kind
+        return hit
+
+
+# -- spec parsing --------------------------------------------------------------
+
+def _bad(spec: str, why: str) -> ConfigError:
+    return ConfigError(
+        f"{_ENV}={spec!r}: {why}; accepted: semicolon-separated clauses "
+        f"'seed=N' or 'kind:key=value,...' with kind in kill/hang/corrupt"
+    )
+
+
+def _clause_params(spec: str, body: str) -> dict:
+    params = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise _bad(spec, f"malformed parameter {item!r}")
+        key, value = item.split("=", 1)
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _pop_float(spec: str, params: dict, key: str, default: float,
+               lo: float = 0.0, hi: float = float("inf")) -> float:
+    raw = params.pop(key, None)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _bad(spec, f"{key}={raw!r} is not a number") from None
+    if not lo <= value <= hi:
+        raise _bad(spec, f"{key}={raw!r} out of range [{lo}, {hi}]")
+    return value
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse a ``REPRO_CHAOS`` spec string into a :class:`ChaosPlan`."""
+    seed = 0
+    kill = hang = corrupt = None
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            try:
+                seed = int(clause[5:])
+            except ValueError:
+                raise _bad(spec, f"seed {clause[5:]!r} is not an integer") \
+                    from None
+            continue
+        if ":" not in clause:
+            raise _bad(spec, f"clause {clause!r} has no 'kind:' prefix")
+        kind, body = clause.split(":", 1)
+        kind = kind.strip()
+        params = _clause_params(spec, body)
+        if kind == "kill":
+            code_raw = params.pop("code", "137")
+            try:
+                code = int(code_raw)
+            except ValueError:
+                raise _bad(spec, f"code={code_raw!r} is not an integer") \
+                    from None
+            if not 1 <= code <= 255:
+                raise _bad(spec, f"code={code_raw!r} out of range [1, 255]")
+            kill = KillChaos(
+                probability=_pop_float(spec, params, "p", 0.0, hi=1.0),
+                exit_code=code)
+        elif kind == "hang":
+            hang = HangChaos(
+                probability=_pop_float(spec, params, "p", 0.0, hi=1.0),
+                seconds=_pop_float(spec, params, "seconds", 60.0, lo=1e-3))
+        elif kind == "corrupt":
+            corrupt = CorruptChaos(
+                probability=_pop_float(spec, params, "p", 0.0, hi=1.0))
+        else:
+            raise _bad(spec, f"unknown chaos kind {kind!r}")
+        if params:
+            raise _bad(spec, f"unknown {kind} parameter(s) "
+                             f"{sorted(params)!r}")
+    return ChaosPlan(seed=seed, kill=kill, hang=hang, corrupt=corrupt)
+
+
+# -- process-global plan registration ------------------------------------------
+
+_ACTIVE: Optional[ChaosMonkey] = None
+# (spec string, monkey) parsed from REPRO_CHAOS, cached per value.
+_ENV_CACHE: tuple = (None, None)
+
+
+def install_chaos(plan: ChaosPlan) -> ChaosMonkey:
+    """Install ``plan`` as the process-wide active chaos campaign.
+
+    Fork-spawned sweep workers inherit the installed plan, so a
+    programmatic campaign reaches the pool without touching the
+    environment.
+    """
+    global _ACTIVE
+    _ACTIVE = ChaosMonkey(plan)
+    return _ACTIVE
+
+
+def clear_chaos() -> None:
+    """Remove the active campaign (environment plans are re-read)."""
+    global _ACTIVE, _ENV_CACHE
+    _ACTIVE = None
+    _ENV_CACHE = (None, None)
+
+
+def active_chaos() -> Optional[ChaosMonkey]:
+    """The active chaos monkey, or None when chaos is off.
+
+    A programmatically installed plan wins over ``REPRO_CHAOS``; the
+    environment spec is parsed once per distinct value.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    spec = os.environ.get(_ENV)
+    if not spec:
+        return None
+    global _ENV_CACHE
+    cached_spec, cached = _ENV_CACHE
+    if cached_spec != spec:
+        cached = ChaosMonkey(parse_chaos_spec(spec))
+        _ENV_CACHE = (spec, cached)
+    return cached
+
+
+@contextmanager
+def chaos_scope(plan: ChaosPlan) -> Iterator[ChaosMonkey]:
+    """Context manager: install ``plan`` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    monkey = install_chaos(plan)
+    try:
+        yield monkey
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,99 @@
+"""Strict parsing of the sweep-supervisor environment knobs.
+
+Same contract as ``test_env.py``: a mistyped ``REPRO_SWEEP_TIMEOUT`` /
+``REPRO_SWEEP_RETRIES`` / ``REPRO_SWEEP_CHECKPOINT`` / ``REPRO_CHAOS``
+must raise :class:`~repro.errors.ConfigError` naming the variable, never
+silently change failure-handling behavior.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.supervisor import SweepPolicy
+from repro.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def _clean_knobs(monkeypatch):
+    for var in ("REPRO_SWEEP_TIMEOUT", "REPRO_SWEEP_RETRIES",
+                "REPRO_SWEEP_CHECKPOINT", "REPRO_CHAOS"):
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestPolicyFromEnv:
+    def test_unset_means_legacy_defaults(self):
+        policy = SweepPolicy.from_env()
+        assert policy == SweepPolicy()
+        assert SweepPolicy.from_env(fail_fast=True).fail_fast is True
+
+    def test_valid_knobs_parse(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "3")
+        monkeypatch.setenv("REPRO_SWEEP_CHECKPOINT", str(tmp_path))
+        policy = SweepPolicy.from_env()
+        assert policy.timeout == 2.5
+        assert policy.retries == 3
+        assert policy.checkpoint_dir == Path(str(tmp_path))
+
+    @pytest.mark.parametrize("garbage", ["2.5x", "inf", "nan", "", " s"])
+    def test_timeout_garbage_raises(self, monkeypatch, garbage):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", garbage)
+        if not garbage.strip():
+            assert SweepPolicy.from_env().timeout is None  # blank = unset
+            return
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_TIMEOUT"):
+            SweepPolicy.from_env()
+
+    def test_timeout_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "0")
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_TIMEOUT"):
+            SweepPolicy.from_env()
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "-1")
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_TIMEOUT"):
+            SweepPolicy.from_env()
+
+    @pytest.mark.parametrize("garbage", ["3x", "1.5", "-1", "many"])
+    def test_retries_garbage_raises(self, monkeypatch, garbage):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", garbage)
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_RETRIES"):
+            SweepPolicy.from_env()
+
+    def test_zero_retries_is_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
+        assert SweepPolicy.from_env().retries == 0
+
+    def test_checkpoint_must_be_a_directory(self, monkeypatch, tmp_path):
+        occupied = tmp_path / "not-a-dir"
+        occupied.write_text("occupied")
+        monkeypatch.setenv("REPRO_SWEEP_CHECKPOINT", str(occupied))
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_CHECKPOINT"):
+            SweepPolicy.from_env()
+        # A not-yet-created path is fine — the supervisor mkdirs it.
+        monkeypatch.setenv("REPRO_SWEEP_CHECKPOINT",
+                           str(tmp_path / "future"))
+        assert SweepPolicy.from_env().checkpoint_dir \
+            == tmp_path / "future"
+
+    def test_blank_checkpoint_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CHECKPOINT", "   ")
+        assert SweepPolicy.from_env().checkpoint_dir is None
+
+
+class TestChaosKnob:
+    def test_bad_chaos_spec_raises_at_sweep_time(self, monkeypatch):
+        from repro.bench import supervise
+
+        monkeypatch.setenv("REPRO_CHAOS", "kill:p=lots")
+        with pytest.raises(ConfigError, match="REPRO_CHAOS"):
+            supervise([1, 2], _identity, max_workers=1)
+
+    def test_unset_chaos_is_inert(self):
+        from repro.reliability.chaos import active_chaos, clear_chaos
+
+        clear_chaos()
+        assert active_chaos() is None
+
+
+def _identity(job):
+    return job

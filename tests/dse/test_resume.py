@@ -101,3 +101,39 @@ class TestKillAndResume:
         after.pop("manifest")
         reference.pop("manifest")
         assert after == reference
+
+    def test_kill_inside_supervisor_retry_window(self, tmp_path):
+        """ISSUE 9: the process dies while the sweep supervisor is
+        actively retrying chaos-corrupted jobs, and the resumed run —
+        under the *same* chaos plan — still converges to the frontier a
+        clean, fault-free search produces.
+
+        Corrupt-injection chaos fires on both the serial and pool
+        paths, so every simulate sweep in the killed and resumed
+        processes runs with live retries in flight when the kill lands.
+        """
+        chaos_env = {"REPRO_CHAOS": "seed=3;corrupt:p=0.2",
+                     "REPRO_SWEEP_RETRIES": "3"}
+        space_file = tmp_path / "space.json"
+        space_file.write_text(json.dumps(_space_payload()))
+        clean_dir, chaos_dir = tmp_path / "clean", tmp_path / "chaos"
+
+        clean = _run(_search_args(space_file, clean_dir))
+        assert clean.returncode == 0, clean.stderr
+
+        killed = _run(_search_args(space_file, chaos_dir),
+                      REPRO_DSE_KILL_AT="1", **chaos_env)
+        assert killed.returncode == KILL_EXIT, (killed.stdout,
+                                                killed.stderr)
+        checkpoint = _checkpoint_in(chaos_dir)
+        assert json.loads(
+            checkpoint.read_text())["completed_generations"] == 1
+
+        resumed = _run(["resume", "--checkpoint", str(checkpoint),
+                        "--workers", "2"], **chaos_env)
+        assert resumed.returncode == 0, resumed.stderr
+        assert "none will be re-simulated" in resumed.stdout
+
+        # Retried-through chaos == fault-free: byte-identical frontier.
+        assert _frontier_in(chaos_dir).read_bytes() \
+            == _frontier_in(clean_dir).read_bytes()

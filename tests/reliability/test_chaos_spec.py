@@ -1,0 +1,131 @@
+"""``REPRO_CHAOS`` grammar, determinism, and plan registration.
+
+Mirrors ``test_fault_spec.py`` for the host-side chaos harness: strict
+parsing (garbage raises :class:`~repro.errors.ConfigError` naming the
+variable), decisions that are pure functions of (seed, job, attempt),
+and programmatic plans winning over the environment.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reliability.chaos import (CHAOS_KINDS, ChaosMonkey, ChaosPlan,
+                                     CorruptChaos, HangChaos, KillChaos,
+                                     active_chaos, chaos_scope, clear_chaos,
+                                     install_chaos, parse_chaos_spec)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    clear_chaos()
+    yield
+    clear_chaos()
+
+
+class TestSpecGrammar:
+    def test_full_spec(self):
+        plan = parse_chaos_spec(
+            "seed=7;kill:p=0.02,code=99;hang:p=0.01,seconds=5;corrupt:p=0.3")
+        assert plan.seed == 7
+        assert plan.kill == KillChaos(probability=0.02, exit_code=99)
+        assert plan.hang == HangChaos(probability=0.01, seconds=5.0)
+        assert plan.corrupt == CorruptChaos(probability=0.3)
+
+    def test_defaults_and_partial_clauses(self):
+        plan = parse_chaos_spec("kill:p=0.5")
+        assert plan.seed == 0
+        assert plan.kill.exit_code == 137
+        assert plan.hang is None and plan.corrupt is None
+
+        plan = parse_chaos_spec("seed=3")
+        assert plan.seed == 3 and plan.is_noop()
+
+        assert parse_chaos_spec("").is_noop()
+        assert parse_chaos_spec("hang:p=0").is_noop()
+
+    @pytest.mark.parametrize("garbage, why", [
+        ("explode:p=0.5", "unknown chaos kind"),
+        ("kill", "no 'kind:' prefix"),
+        ("seed=x", "not an integer"),
+        ("kill:p=lots", "not a number"),
+        ("kill:p=1.5", "out of range"),
+        ("kill:p=-0.1", "out of range"),
+        ("kill:code=0", "out of range"),
+        ("kill:code=1.5", "not an integer"),
+        ("hang:seconds=0", "out of range"),
+        ("hang:p=0.1,minutes=2", "unknown hang parameter"),
+        ("corrupt:p", "malformed parameter"),
+    ])
+    def test_garbage_raises_naming_the_variable(self, garbage, why):
+        with pytest.raises(ConfigError, match="REPRO_CHAOS") as excinfo:
+            parse_chaos_spec(garbage)
+        assert why in str(excinfo.value)
+
+
+class TestDeterminism:
+    PLAN = ChaosPlan(seed=0, kill=KillChaos(probability=0.10),
+                     hang=HangChaos(probability=0.08),
+                     corrupt=CorruptChaos(probability=0.10))
+
+    def test_decisions_are_pure_functions_of_seed_job_attempt(self):
+        a, b = ChaosMonkey(self.PLAN), ChaosMonkey(self.PLAN)
+        decisions = [(i, t, a.action(i, t))
+                     for i in range(16) for t in range(4)]
+        # Independent monkeys (parent vs fork-worker replay) agree, in
+        # any evaluation order.
+        for i, t, expect in reversed(decisions):
+            assert b.action(i, t) == expect
+        assert any(kind is not None for _, _, kind in decisions)
+
+    def test_draw_alignment_across_kinds(self):
+        # Zeroing one kind's probability must not re-seat the draws of
+        # the others (each kind always consumes exactly one draw).
+        no_kill = ChaosPlan(seed=0, kill=None,
+                            hang=self.PLAN.hang, corrupt=self.PLAN.corrupt)
+        full, partial = ChaosMonkey(self.PLAN), ChaosMonkey(no_kill)
+        for i in range(16):
+            for t in range(4):
+                got = full.action(i, t)
+                if got != "kill":
+                    assert partial.action(i, t) == got
+
+    def test_noop_plan_decides_nothing(self):
+        monkey = ChaosMonkey(ChaosPlan(seed=0))
+        assert all(monkey.action(i, t) is None
+                   for i in range(8) for t in range(3))
+
+    def test_kind_order_is_stable(self):
+        # The supervisor's culprit replay depends on this exact order.
+        assert CHAOS_KINDS == ("kill", "hang", "corrupt")
+
+
+class TestRegistration:
+    def test_off_by_default(self):
+        assert active_chaos() is None
+
+    def test_env_spec_activates_and_caches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=2;corrupt:p=0.5")
+        monkey = active_chaos()
+        assert monkey is not None and monkey.plan.seed == 2
+        assert active_chaos() is monkey  # parsed once per value
+        monkeypatch.setenv("REPRO_CHAOS", "seed=3;corrupt:p=0.5")
+        assert active_chaos().plan.seed == 3
+
+    def test_bad_env_spec_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "kaboom")
+        with pytest.raises(ConfigError, match="REPRO_CHAOS"):
+            active_chaos()
+
+    def test_programmatic_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=2;corrupt:p=0.5")
+        installed = install_chaos(ChaosPlan(seed=9))
+        assert active_chaos() is installed
+        clear_chaos()
+        assert active_chaos().plan.seed == 2
+
+    def test_chaos_scope_restores_previous(self):
+        outer = install_chaos(ChaosPlan(seed=1))
+        with chaos_scope(ChaosPlan(seed=2)) as inner:
+            assert active_chaos() is inner
+        assert active_chaos() is outer
