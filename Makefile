@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-equiv test-faults bench bench-speed bench-gate \
-	profile-smoke predict-smoke dse-smoke chaos-smoke ci
+	profile-smoke predict-smoke dse-smoke chaos-smoke serve-smoke ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -64,10 +64,19 @@ dse-smoke:
 chaos-smoke:
 	$(PY) -m repro.dse chaos-smoke
 
+# Serving smoke: a fixed-seed 10k-request two-tenant campaign runs
+# twice under continuous batching (the reports must be byte-identical,
+# pinned by digest) and once under static batching on the same trace
+# and compiled step costs — continuous must strictly beat static on
+# goodput.  The artifact lands in benchmarks/results/serving_smoke.json.
+serve-smoke:
+	$(PY) -m repro.serving smoke
+
 # CI gate: the tier-1 suite, the equivalence suites, the
 # fault-injection smoke suite, a ~10 s simulator-speed smoke run, the
 # cold-compile perf gate, the predictor fast-tier smoke gate, the DSE
-# search exactness gate, the host-side chaos recovery gate, and the
-# profiling CLI smoke run.
+# search exactness gate, the host-side chaos recovery gate, the
+# serving reproducibility/goodput gate, and the profiling CLI smoke
+# run.
 ci: test test-equiv test-faults bench-speed bench-gate predict-smoke \
-	dse-smoke chaos-smoke profile-smoke
+	dse-smoke chaos-smoke serve-smoke profile-smoke

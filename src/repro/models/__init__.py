@@ -9,6 +9,8 @@ from .mobilenet import build_mobilenet_v2
 from .bert import build_bert, BERT_BASE, BERT_LARGE, BertConfig
 from .detection import build_detector, build_siamese_tracker
 from .gesture import build_gesture_net
+from .gpt import (GPT_MEDIUM, GPT_SMALL, GPT_TINY, GptConfig, build_gpt,
+                  build_gpt_decode)
 from .isp import build_isp_unet
 from .pointnet import build_pointnet
 from .vgg import build_vgg16
@@ -24,6 +26,12 @@ __all__ = [
     "BERT_BASE",
     "BERT_LARGE",
     "BertConfig",
+    "GptConfig",
+    "GPT_TINY",
+    "GPT_SMALL",
+    "GPT_MEDIUM",
+    "build_gpt",
+    "build_gpt_decode",
     "build_gesture_net",
     "build_vgg16",
     "build_wide_deep",

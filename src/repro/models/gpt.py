@@ -1,0 +1,231 @@
+"""Decoder-only GPT-style transformer — the serving-layer workload.
+
+Unlike the BERT encoder (one forward pass per request), a generative
+decoder has two phases with very different hardware behavior, and the
+serving simulator (:mod:`repro.serving`) needs both as separate graphs:
+
+* **Prefill** (:func:`build_gpt`): the whole prompt runs through the
+  stack at once — big ``seq x hidden`` GEMMs, cube-bound, one pass per
+  request.  Structurally this is the BERT encoder with causal attention
+  and no pooler; the cost model treats the causal mask as a vector pass
+  over the score matrix.
+* **Decode** (:func:`build_gpt_decode`): one token per step, attending
+  over the resident KV cache — ``m = batch`` GEMMs that starve the cube
+  and stream the whole cache through the memory system every step.  The
+  KV caches appear as graph *inputs* so their bytes land in the
+  bandwidth accounting, and the LM head (hidden -> vocab) runs here,
+  once per generated token.
+
+Per-token KV residency is ``2 * layers * hidden * dtype.bytes``
+(:meth:`GptConfig.kv_bytes_per_token`) — the quantity the serving
+layer's admission control charges against the design point's memory
+capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import DType, FP16, INT32
+from ..errors import GraphError
+from ..graph import Graph, GraphBuilder, TensorSpec
+
+__all__ = [
+    "GptConfig",
+    "GPT_TINY",
+    "GPT_SMALL",
+    "GPT_MEDIUM",
+    "build_gpt",
+    "build_gpt_decode",
+]
+
+
+@dataclass(frozen=True)
+class GptConfig:
+    """Decoder-only transformer hyperparameters."""
+
+    name: str
+    hidden: int
+    layers: int
+    heads: int
+    intermediate: int
+    vocab_size: int = 50257
+    max_context: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads:
+            raise GraphError(
+                f"{self.name}: hidden {self.hidden} not divisible by "
+                f"heads {self.heads}"
+            )
+        if self.max_context < 1:
+            raise GraphError(f"{self.name}: max_context must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    def kv_bytes_per_token(self, dtype: DType = FP16) -> int:
+        """Resident KV-cache bytes one token pins across all layers."""
+        return int(2 * self.layers * self.hidden * dtype.bytes)
+
+    def param_count(self) -> int:
+        """Approximate parameter count (weights only, tied embeddings)."""
+        per_layer = (
+            4 * self.hidden * self.hidden          # qkv + output projection
+            + 2 * self.hidden * self.intermediate  # ffn halves
+        )
+        return self.layers * per_layer + self.vocab_size * self.hidden
+
+
+# A deliberately small config for smoke campaigns: compiles in well under
+# a second per (batch, context) bucket, yet exercises every phase.
+GPT_TINY = GptConfig("gpt-tiny", hidden=256, layers=4, heads=4,
+                     intermediate=1024, vocab_size=8192, max_context=1024)
+# GPT-2 124M class — the smallest "real" decoder.
+GPT_SMALL = GptConfig("gpt-small", hidden=768, layers=12, heads=12,
+                      intermediate=3072)
+# GPT-2 355M class.
+GPT_MEDIUM = GptConfig("gpt-medium", hidden=1024, layers=24, heads=16,
+                       intermediate=4096)
+
+
+def _reshape(b: GraphBuilder, src: TensorSpec, dst: TensorSpec) -> None:
+    """Head split/merge via the IR's Reshape node."""
+    from ..graph.ops import Reshape
+
+    b.graph.add(
+        Reshape(name=f"reshape_{dst.name}", inputs=(src,), output=dst,
+                group=b._group)
+    )
+
+
+def _decoder_layer(b: GraphBuilder, x: TensorSpec, cfg: GptConfig,
+                   index: int) -> TensorSpec:
+    """One causal self-attention block over the in-flight sequence."""
+    batch, seq, hidden = x.shape
+    prefix = f"L{index}"
+
+    b.group(f"{prefix}.qkv")
+    q = b.dense(x, hidden, name=f"{prefix}_q")
+    k = b.dense(x, hidden, name=f"{prefix}_k")
+    v = b.dense(x, hidden, name=f"{prefix}_v")
+
+    b.group(f"{prefix}.attn")
+    q_heads = TensorSpec(f"{prefix}_qh", (batch * cfg.heads, seq, cfg.head_dim),
+                         x.dtype)
+    k_heads = TensorSpec(f"{prefix}_kh", (batch * cfg.heads, seq, cfg.head_dim),
+                         x.dtype)
+    v_heads = TensorSpec(f"{prefix}_vh", (batch * cfg.heads, seq, cfg.head_dim),
+                         x.dtype)
+    _reshape(b, q, q_heads)
+    _reshape(b, k, k_heads)
+    _reshape(b, v, v_heads)
+    scores = b.batch_matmul(q_heads, k_heads, transpose_b=True,
+                            name=f"{prefix}_scores")
+    # The causal mask is folded into the softmax's vector pass over the
+    # score matrix (additive -inf mask, no separate sweep).
+    probs = b.softmax(scores, name=f"{prefix}_probs")
+    context = b.batch_matmul(probs, v_heads, name=f"{prefix}_context")
+
+    b.group(f"{prefix}.proj")
+    ctx_flat = TensorSpec(f"{prefix}_ctx", (batch, seq, hidden), x.dtype)
+    _reshape(b, context, ctx_flat)
+    attn_out = b.dense(ctx_flat, hidden, name=f"{prefix}_attn_out")
+    attn_out = b.add(attn_out, x)
+    attn_out = b.layer_norm(attn_out, name=f"{prefix}_ln1")
+
+    b.group(f"{prefix}.ffn1")
+    ffn = b.dense(attn_out, cfg.intermediate, name=f"{prefix}_ffn1")
+    ffn = b.activation(ffn, "gelu")
+    b.group(f"{prefix}.ffn2")
+    ffn = b.dense(ffn, hidden, name=f"{prefix}_ffn2")
+    ffn = b.add(ffn, attn_out)
+    return b.layer_norm(ffn, name=f"{prefix}_ln2")
+
+
+def build_gpt(cfg: GptConfig = GPT_SMALL, batch: int = 1, seq: int = 64,
+              dtype: DType = FP16, include_embeddings: bool = True) -> Graph:
+    """Build the **prefill** graph: the whole prompt in one pass.
+
+    The LM head is deliberately absent — in a serving deployment only
+    the last prompt position needs logits, and that projection is
+    charged to the first decode step (:func:`build_gpt_decode`), so
+    prefill cycles measure exactly the prompt-ingestion work.
+    """
+    if seq > cfg.max_context:
+        raise GraphError(
+            f"{cfg.name}: seq {seq} exceeds max_context {cfg.max_context}")
+    b = GraphBuilder(f"{cfg.name}_prefill_b{batch}_s{seq}", dtype)
+    if include_embeddings:
+        ids = b.input("token_ids", (batch, seq), dtype=INT32)
+        b.group("embed")
+        x = b.embedding(ids, cfg.vocab_size, cfg.hidden, name="embedding")
+        x = b.layer_norm(x, name="embed_ln")
+    else:
+        x = b.input("hidden_in", (batch, seq, cfg.hidden))
+    for layer in range(cfg.layers):
+        x = _decoder_layer(b, x, cfg, layer)
+    b.group("final_ln")
+    b.layer_norm(x, name="final_ln")
+    return b.build()
+
+
+def build_gpt_decode(cfg: GptConfig = GPT_SMALL, batch: int = 1,
+                     context: int = 128, dtype: DType = FP16) -> Graph:
+    """Build one **decode** step: ``batch`` tokens against resident KV.
+
+    Every per-layer K/V cache is a graph *input* of shape
+    ``(batch * heads, context, head_dim)``: the cache bytes flow through
+    the input-traffic accounting, which is what makes decode
+    memory-bound in the compiled cost model, exactly as on hardware.
+    Ends with the LM head — one vocab projection per generated token.
+    """
+    if context < 1:
+        raise GraphError(f"{cfg.name}: decode context must be positive")
+    if context > cfg.max_context:
+        raise GraphError(
+            f"{cfg.name}: context {context} exceeds max_context "
+            f"{cfg.max_context}")
+    b = GraphBuilder(f"{cfg.name}_decode_b{batch}_c{context}", dtype)
+    x = b.input("hidden_in", (batch, 1, cfg.hidden))
+    for layer in range(cfg.layers):
+        prefix = f"L{layer}"
+        b.group(f"{prefix}.qkv")
+        q = b.dense(x, cfg.hidden, name=f"{prefix}_q")
+        # The step's own K/V are computed and appended to the cache.
+        b.dense(x, cfg.hidden, name=f"{prefix}_k")
+        b.dense(x, cfg.hidden, name=f"{prefix}_v")
+
+        b.group(f"{prefix}.attn")
+        k_cache = b.input(f"{prefix}_k_cache",
+                          (batch * cfg.heads, context, cfg.head_dim))
+        v_cache = b.input(f"{prefix}_v_cache",
+                          (batch * cfg.heads, context, cfg.head_dim))
+        q_heads = TensorSpec(f"{prefix}_qh",
+                             (batch * cfg.heads, 1, cfg.head_dim), x.dtype)
+        _reshape(b, q, q_heads)
+        scores = b.batch_matmul(q_heads, k_cache, transpose_b=True,
+                                name=f"{prefix}_scores")
+        probs = b.softmax(scores, name=f"{prefix}_probs")
+        context_t = b.batch_matmul(probs, v_cache, name=f"{prefix}_context")
+
+        b.group(f"{prefix}.proj")
+        ctx_flat = TensorSpec(f"{prefix}_ctx", (batch, 1, cfg.hidden), x.dtype)
+        _reshape(b, context_t, ctx_flat)
+        attn_out = b.dense(ctx_flat, cfg.hidden, name=f"{prefix}_attn_out")
+        attn_out = b.add(attn_out, x)
+        attn_out = b.layer_norm(attn_out, name=f"{prefix}_ln1")
+
+        b.group(f"{prefix}.ffn1")
+        ffn = b.dense(attn_out, cfg.intermediate, name=f"{prefix}_ffn1")
+        ffn = b.activation(ffn, "gelu")
+        b.group(f"{prefix}.ffn2")
+        ffn = b.dense(ffn, cfg.hidden, name=f"{prefix}_ffn2")
+        ffn = b.add(ffn, attn_out)
+        x = b.layer_norm(ffn, name=f"{prefix}_ln2")
+
+    b.group("lm_head")
+    x = b.layer_norm(x, name="final_ln")
+    b.dense(x, cfg.vocab_size, bias=False, name="lm_head")
+    return b.build()

@@ -9,6 +9,7 @@ from ..graph import Graph
 from .bert import BERT_BASE, BERT_LARGE, build_bert
 from .detection import build_detector, build_siamese_tracker
 from .gesture import build_gesture_net
+from .gpt import GPT_MEDIUM, GPT_SMALL, GPT_TINY, build_gpt
 from .isp import build_isp_unet
 from .mobilenet import build_mobilenet_v2
 from .pointnet import build_pointnet
@@ -24,6 +25,9 @@ MODEL_BUILDERS: Dict[str, Callable[..., Graph]] = {
     "mobilenet_v2": build_mobilenet_v2,
     "bert-base": lambda **kw: build_bert(BERT_BASE, **kw),
     "bert-large": lambda **kw: build_bert(BERT_LARGE, **kw),
+    "gpt-tiny": lambda **kw: build_gpt(GPT_TINY, **kw),
+    "gpt-small": lambda **kw: build_gpt(GPT_SMALL, **kw),
+    "gpt-medium": lambda **kw: build_gpt(GPT_MEDIUM, **kw),
     "gesture": build_gesture_net,
     "vgg16": build_vgg16,
     "wide_deep": build_wide_deep,

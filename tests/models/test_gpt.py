@@ -1,0 +1,93 @@
+"""Decoder-only GPT zoo entries: prefill/decode split and KV geometry."""
+
+import pytest
+
+from repro.config.core_configs import core_config_by_name
+from repro.compiler.graph_engine import GraphEngine
+from repro.dtypes import FP16, FP32
+from repro.errors import GraphError
+from repro.models import (GPT_SMALL, GPT_TINY, GptConfig, build_gpt,
+                          build_gpt_decode)
+from repro.models.zoo import MODEL_BUILDERS, build_model
+
+CORE = core_config_by_name("ascend-mini")
+TEST = GptConfig(name="gpt-test", hidden=64, layers=2, heads=2,
+                 intermediate=128, vocab_size=512, max_context=128)
+
+
+class TestConfig:
+    def test_kv_bytes_per_token(self):
+        # 2 tensors (K and V) x layers x hidden, per dtype byte.
+        assert (GPT_TINY.kv_bytes_per_token(FP16)
+                == 2 * GPT_TINY.layers * GPT_TINY.hidden * 2)
+        assert (GPT_TINY.kv_bytes_per_token(FP32)
+                == 2 * GPT_TINY.kv_bytes_per_token(FP16))
+
+    def test_head_dim_divides(self):
+        assert GPT_SMALL.head_dim * GPT_SMALL.heads == GPT_SMALL.hidden
+        with pytest.raises(Exception):
+            GptConfig(name="bad", hidden=100, layers=2, heads=3,
+                      intermediate=128)
+
+    def test_param_count_positive_and_scales(self):
+        assert 0 < GPT_TINY.param_count() < GPT_SMALL.param_count()
+
+
+class TestZoo:
+    def test_gpt_registered(self):
+        for name in ("gpt-tiny", "gpt-small", "gpt-medium"):
+            assert name in MODEL_BUILDERS
+
+    def test_zoo_builds_prefill_graph(self):
+        graph = build_model("gpt-tiny", batch=1, seq=32)
+        group_names = {node.group for node in graph.nodes}
+        assert any(g and g.startswith("L0.") for g in group_names)
+
+
+class TestPrefillGraph:
+    def test_layer_groups_present(self):
+        graph = build_gpt(TEST, batch=1, seq=32)
+        groups = {node.group for node in graph.nodes if node.group}
+        for i in range(TEST.layers):
+            for part in ("qkv", "attn", "proj", "ffn1", "ffn2"):
+                assert f"L{i}.{part}" in groups
+
+    def test_no_lm_head_in_prefill(self):
+        # First-token sampling is charged to the first decode step.
+        graph = build_gpt(TEST, batch=1, seq=32)
+        assert not any("lm_head" in node.name for node in graph.nodes)
+
+    def test_seq_beyond_max_context_raises(self):
+        with pytest.raises(GraphError, match="max_context"):
+            build_gpt(TEST, batch=1, seq=TEST.max_context + 1)
+
+    def test_compiles_and_scales_with_seq(self):
+        engine = GraphEngine(CORE)
+        short = engine.compile_graph(build_gpt(TEST, batch=1, seq=16))
+        long = engine.compile_graph(build_gpt(TEST, batch=1, seq=128))
+        assert 0 < short.total_cycles < long.total_cycles
+
+
+class TestDecodeGraph:
+    def test_has_lm_head(self):
+        graph = build_gpt_decode(TEST, batch=1, context=32)
+        assert any("lm_head" in node.name for node in graph.nodes)
+
+    def test_context_beyond_max_raises(self):
+        with pytest.raises(GraphError, match="max_context"):
+            build_gpt_decode(TEST, batch=1, context=TEST.max_context + 1)
+
+    def test_compiles_and_scales_with_batch(self):
+        engine = GraphEngine(CORE)
+        one = engine.compile_graph(build_gpt_decode(TEST, batch=1,
+                                                    context=32))
+        eight = engine.compile_graph(build_gpt_decode(TEST, batch=8,
+                                                      context=32))
+        assert 0 < one.total_cycles < eight.total_cycles
+
+    def test_decode_step_cheaper_than_prefill(self):
+        engine = GraphEngine(CORE)
+        prefill = engine.compile_graph(build_gpt(TEST, batch=1, seq=128))
+        decode = engine.compile_graph(build_gpt_decode(TEST, batch=1,
+                                                       context=128))
+        assert decode.total_cycles < prefill.total_cycles
